@@ -1,0 +1,28 @@
+//! MCTOP-ALG inference cost on the simulated platforms (the quantity
+//! behind Section 3.5's "~3 s on Ivy, 96 s on Westmere").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mctop::backend::SimProber;
+use mctop::ProbeConfig;
+use std::time::Duration;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for spec in [mcsim::presets::ivy(), mcsim::presets::opteron()] {
+        g.bench_function(format!("mctop_alg/{}", spec.name), |b| {
+            b.iter(|| {
+                let mut p = SimProber::noiseless(&spec);
+                let cfg = ProbeConfig {
+                    reps: 5,
+                    ..ProbeConfig::fast()
+                };
+                mctop::infer(&mut p, &cfg).unwrap().num_sockets()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

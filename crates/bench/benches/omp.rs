@@ -1,0 +1,34 @@
+//! Real-thread parallel-for runtime (the host-execution path of
+//! Fig. 12): PageRank under different binding policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mctop_bench::enriched_topology;
+use mctop_omp::graph::Graph;
+use mctop_omp::workloads::pagerank;
+use mctop_omp::OmpRuntime;
+use mctop_place::Policy;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_omp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omp");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let spec = mcsim::presets::synthetic_small();
+    let topo = Arc::new(enriched_topology(&spec));
+    let graph = Graph::synthetic(20_000, 8, 3);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(8);
+    let rt = OmpRuntime::new(topo, threads);
+    for policy in [Policy::None, Policy::BalanceCore, Policy::ConCoreHwc] {
+        rt.set_binding_policy(policy).unwrap();
+        g.bench_function(format!("pagerank/{}", policy.name()), |b| {
+            b.iter(|| pagerank(&rt, &graph, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_omp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the figure harness and the Criterion benches.
+
+use mcsim::MachineSpec;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::Mctop;
+
+/// Infers (noiselessly) and fully enriches the topology of a preset:
+/// the starting point of every experiment harness.
+pub fn enriched_topology(spec: &MachineSpec) -> Mctop {
+    let mut prober = mctop::backend::SimProber::noiseless(spec);
+    let cfg = mctop::ProbeConfig {
+        reps: 5,
+        ..mctop::ProbeConfig::fast()
+    };
+    let mut topo = mctop::infer(&mut prober, &cfg).expect("inference succeeds on presets");
+    let mut mem = SimEnricher::new(spec);
+    let mut pow = SimEnricher::new(spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment succeeds on presets");
+    topo.freq_ghz = Some(spec.freq_ghz);
+    topo
+}
+
+/// Infers with realistic noise and DVFS (the harness path that
+/// exercises the retry machinery).
+pub fn noisy_topology(spec: &MachineSpec, seed: u64) -> Mctop {
+    let mut prober = mctop::backend::SimProber::new(spec, seed);
+    let cfg = mctop::ProbeConfig::fast();
+    mctop::infer(&mut prober, &cfg).expect("inference succeeds under default noise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enriched_topology_is_complete() {
+        let spec = mcsim::presets::ivy();
+        let t = enriched_topology(&spec);
+        assert_eq!(t.num_sockets(), 2);
+        assert!(t.power.is_some());
+        assert!(t.caches.is_some());
+        assert_eq!(t.freq_ghz, Some(2.8));
+    }
+
+    #[test]
+    fn noisy_topology_matches_noiseless_structure() {
+        let spec = mcsim::presets::synthetic_small();
+        let noisy = noisy_topology(&spec, 3);
+        let clean = enriched_topology(&spec);
+        assert_eq!(noisy.num_sockets(), clean.num_sockets());
+        assert_eq!(noisy.num_cores(), clean.num_cores());
+        assert_eq!(noisy.smt(), clean.smt());
+    }
+}

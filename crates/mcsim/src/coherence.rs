@@ -1,0 +1,271 @@
+//! A single-cache-line MESI model.
+//!
+//! This is the machinery behind Observation 1 of the paper: coherence
+//! protocols are deterministic in the absence of contention, so the cost
+//! of a request-for-ownership (RFO, Fig. 4) between two fixed contexts is
+//! a stable, topology-characterizing number. The latency oracle's
+//! "lock-step CAS" probe is exactly [`LineSim::rfo`] against a line that
+//! the partner thread just brought into the Modified state.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+use crate::machine::MachineSpec;
+
+/// MESI state of the line in one core's private caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mesi {
+    /// Only fresh copy; memory is stale.
+    Modified,
+    /// Only copy, clean.
+    Exclusive,
+    /// One of several clean copies.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+/// Outcome of a coherence request: the deterministic latency plus a
+/// description of the walk taken (for tests and the Fig. 4 demo).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Total cycles.
+    pub latency: u32,
+    /// Human-readable steps, in order.
+    pub steps: Vec<&'static str>,
+}
+
+/// Simulates one cache line over the cores of a machine.
+#[derive(Debug, Clone)]
+pub struct LineSim<'m> {
+    spec: &'m MachineSpec,
+    /// Per-core MESI state.
+    states: Vec<Mesi>,
+    /// Memory node that homes the line.
+    home_node: usize,
+}
+
+impl<'m> LineSim<'m> {
+    /// A line homed on `home_node`, present nowhere.
+    pub fn new(spec: &'m MachineSpec, home_node: usize) -> Self {
+        assert!(home_node < spec.nodes);
+        LineSim {
+            spec,
+            states: vec![Mesi::Invalid; spec.total_cores()],
+            home_node,
+        }
+    }
+
+    /// Current state in `core`'s private caches.
+    pub fn state_of_core(&self, core: usize) -> Mesi {
+        self.states[core]
+    }
+
+    fn core_to_core(&self, a_core: usize, b_core: usize) -> u32 {
+        // Use the first context of each core; the transfer latency is a
+        // property of the cores, not the SMT contexts.
+        let a = self.spec.hwc_of(a_core, 0);
+        let b = self.spec.hwc_of(b_core, 0);
+        self.spec.true_latency(a, b)
+    }
+
+    /// Request-for-ownership by `hwc` (e.g. a CAS): after this the line
+    /// is Modified in the requester's core and Invalid everywhere else.
+    /// Returns the deterministic walk.
+    pub fn rfo(&mut self, hwc: usize) -> Walk {
+        let req = self.spec.loc(hwc).core;
+        let mut steps = vec!["1-RFO"];
+        let latency;
+        match self.states[req] {
+            Mesi::Modified | Mesi::Exclusive => {
+                // Private-cache hit; upgrade is free.
+                steps.push("hit-private");
+                latency = self.spec.caches.first().map_or(2, |c| c.latency);
+            }
+            Mesi::Shared => {
+                // Upgrade: invalidate the other sharers. The
+                // invalidations are broadcast in parallel; the cost is
+                // the farthest acknowledgement.
+                steps.push("2-upgrade");
+                steps.push("5-invalidate");
+                latency = self.farthest_sharer(req).max(1);
+            }
+            Mesi::Invalid => {
+                steps.push("2-miss");
+                if let Some(owner) = self.owner() {
+                    // Dirty or exclusive in another core: fetch from its
+                    // private caches (the Fig. 4 walk).
+                    steps.push("3-miss");
+                    steps.push(if self.same_socket(req, owner) {
+                        "4a-hit"
+                    } else {
+                        "4b-miss"
+                    });
+                    steps.push("5-inv");
+                    steps.push("6-granted");
+                    latency = self.core_to_core(req, owner);
+                } else if self.states.iter().any(|&s| s == Mesi::Shared) {
+                    // Clean copies elsewhere: fetch one, invalidate all.
+                    steps.push("5-invalidate");
+                    latency = self.farthest_sharer(req).max(1);
+                } else {
+                    // Memory fetch from the home node.
+                    steps.push("mem-fetch");
+                    latency = self
+                        .spec
+                        .mem_latency(self.spec.loc(hwc).socket, self.home_node);
+                }
+            }
+        }
+        for s in self.states.iter_mut() {
+            *s = Mesi::Invalid;
+        }
+        self.states[req] = Mesi::Modified;
+        Walk { latency, steps }
+    }
+
+    /// Plain load by `hwc`: the line becomes Shared (or Exclusive if it
+    /// was nowhere).
+    pub fn read(&mut self, hwc: usize) -> Walk {
+        let req = self.spec.loc(hwc).core;
+        let mut steps = vec!["1-load"];
+        let latency;
+        match self.states[req] {
+            Mesi::Invalid => {
+                steps.push("2-miss");
+                if let Some(owner) = self.owner() {
+                    steps.push("3-forward");
+                    latency = self.core_to_core(req, owner);
+                    // Dirty data is written back; both keep Shared.
+                    self.states[owner] = Mesi::Shared;
+                    self.states[req] = Mesi::Shared;
+                } else if self.states.iter().any(|&s| s == Mesi::Shared) {
+                    steps.push("3-share");
+                    latency = self.nearest_sharer(req).max(1);
+                    self.states[req] = Mesi::Shared;
+                } else {
+                    steps.push("mem-fetch");
+                    latency = self
+                        .spec
+                        .mem_latency(self.spec.loc(hwc).socket, self.home_node);
+                    self.states[req] = Mesi::Exclusive;
+                }
+            }
+            _ => {
+                steps.push("hit-private");
+                latency = self.spec.caches.first().map_or(2, |c| c.latency);
+            }
+        }
+        Walk { latency, steps }
+    }
+
+    fn owner(&self) -> Option<usize> {
+        self.states
+            .iter()
+            .position(|&s| matches!(s, Mesi::Modified | Mesi::Exclusive))
+    }
+
+    fn same_socket(&self, core_a: usize, core_b: usize) -> bool {
+        core_a / self.spec.cores_per_socket == core_b / self.spec.cores_per_socket
+    }
+
+    fn farthest_sharer(&self, req: usize) -> u32 {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(c, &s)| s == Mesi::Shared && c != req)
+            .map(|(c, _)| self.core_to_core(req, c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn nearest_sharer(&self, req: usize) -> u32 {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(c, &s)| s == Mesi::Shared && c != req)
+            .map(|(c, _)| self.core_to_core(req, c))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn rfo_ping_pong_reports_topology_latency() {
+        // The lock-step measurement of Fig. 5: y CASes, then x CASes.
+        let ivy = presets::ivy();
+        let mut line = LineSim::new(&ivy, 0);
+        line.rfo(10); // Thread y on socket 1.
+        let walk = line.rfo(0); // Thread x on socket 0 measures.
+        assert_eq!(walk.latency, ivy.true_latency(0, 10));
+        assert!(walk.steps.contains(&"4b-miss"));
+        assert!(walk.steps.contains(&"6-granted"));
+    }
+
+    #[test]
+    fn rfo_same_socket_walk() {
+        let ivy = presets::ivy();
+        let mut line = LineSim::new(&ivy, 0);
+        line.rfo(1);
+        let walk = line.rfo(0);
+        assert_eq!(walk.latency, 112);
+        assert!(walk.steps.contains(&"4a-hit"));
+    }
+
+    #[test]
+    fn repeated_rfo_hits_private_cache() {
+        let ivy = presets::ivy();
+        let mut line = LineSim::new(&ivy, 0);
+        line.rfo(0);
+        let walk = line.rfo(0);
+        assert!(walk.steps.contains(&"hit-private"));
+        assert!(walk.latency <= 4);
+    }
+
+    #[test]
+    fn determinism_same_schedule_same_latency() {
+        // Observation 1: replaying the same schedule gives identical
+        // latencies.
+        let west = presets::westmere();
+        let run = |a: usize, b: usize| {
+            let mut line = LineSim::new(&west, 0);
+            line.rfo(b);
+            line.rfo(a).latency
+        };
+        for &(a, b) in &[(0usize, 35usize), (1, 2), (0, 80), (17, 93)] {
+            assert_eq!(run(a, b), run(a, b));
+            assert_eq!(run(a, b), run(b, a), "symmetric pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn cold_read_fetches_from_memory() {
+        let ivy = presets::ivy();
+        let mut line = LineSim::new(&ivy, 1);
+        let walk = line.read(0);
+        assert!(walk.steps.contains(&"mem-fetch"));
+        assert_eq!(walk.latency, ivy.mem_latency(0, 1));
+        assert_eq!(line.state_of_core(0), Mesi::Exclusive);
+    }
+
+    #[test]
+    fn shared_upgrade_invalidates_all() {
+        let ivy = presets::ivy();
+        let mut line = LineSim::new(&ivy, 0);
+        line.read(0);
+        line.read(1);
+        line.read(10);
+        let walk = line.rfo(0);
+        assert!(walk.steps.contains(&"5-invalidate"));
+        // Farthest sharer is on the other socket.
+        assert_eq!(walk.latency, ivy.true_latency(0, 10));
+        assert_eq!(line.state_of_core(ivy.loc(10).core), Mesi::Invalid);
+    }
+}

@@ -1,0 +1,300 @@
+//! Socket-to-socket interconnect graphs.
+//!
+//! Cross-socket communication latency is modelled as
+//! `overhead + sum(wire latency over the cheapest path)`, which
+//! reproduces the paper's observed pattern that a 2-hop latency is far
+//! less than twice a 1-hop latency (e.g. Westmere: 341 cy direct vs
+//! 458 cy over two hops).
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// A direct link between two sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (socket index).
+    pub a: usize,
+    /// Second endpoint (socket index).
+    pub b: usize,
+    /// Wire latency contribution of this link, cycles. The end-to-end
+    /// context-to-context latency over a path is
+    /// `overhead + sum(wire)`.
+    pub wire: u32,
+    /// Peak bandwidth of this link, GB/s.
+    pub bandwidth: f64,
+}
+
+/// The interconnect: a weighted graph over sockets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Fixed protocol overhead added to every cross-socket transfer.
+    pub overhead: u32,
+    /// Direct links (undirected).
+    pub links: Vec<Link>,
+}
+
+impl Interconnect {
+    /// Builds an interconnect and precomputes nothing; queries run
+    /// Dijkstra on demand (socket counts are tiny).
+    pub fn new(sockets: usize, overhead: u32, links: Vec<Link>) -> Self {
+        let ic = Interconnect {
+            sockets,
+            overhead,
+            links,
+        };
+        ic.assert_connected();
+        ic
+    }
+
+    /// A fully-connected interconnect with uniform links.
+    pub fn full(sockets: usize, overhead: u32, wire: u32, bandwidth: f64) -> Self {
+        let mut links = Vec::new();
+        for a in 0..sockets {
+            for b in (a + 1)..sockets {
+                links.push(Link {
+                    a,
+                    b,
+                    wire,
+                    bandwidth,
+                });
+            }
+        }
+        Interconnect::new(sockets, overhead, links)
+    }
+
+    fn assert_connected(&self) {
+        if self.sockets <= 1 {
+            return;
+        }
+        let mut seen = vec![false; self.sockets];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(s) = stack.pop() {
+            for l in &self.links {
+                let next = if l.a == s {
+                    l.b
+                } else if l.b == s {
+                    l.a
+                } else {
+                    continue;
+                };
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "interconnect graph is disconnected"
+        );
+    }
+
+    fn neighbors(&self, s: usize) -> impl Iterator<Item = (usize, &Link)> {
+        self.links.iter().filter_map(move |l| {
+            if l.a == s {
+                Some((l.b, l))
+            } else if l.b == s {
+                Some((l.a, l))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Cheapest-path wire latency (without the fixed overhead) and hop
+    /// count from `src` to `dst`. Ties in wire latency are broken toward
+    /// fewer hops.
+    fn dijkstra(&self, src: usize, dst: usize) -> (u32, usize) {
+        assert!(src < self.sockets && dst < self.sockets);
+        if src == dst {
+            return (0, 0);
+        }
+        let mut best: Vec<Option<(u32, usize)>> = vec![None; self.sockets];
+        best[src] = Some((0, 0));
+        // The graphs are tiny (<= 8 sockets): a simple relaxation loop is
+        // clearer than a binary heap and plenty fast.
+        for _ in 0..self.sockets {
+            let mut changed = false;
+            for s in 0..self.sockets {
+                let Some((w, h)) = best[s] else { continue };
+                for (next, link) in self.neighbors(s) {
+                    let cand = (w + link.wire, h + 1);
+                    if best[next].map_or(true, |cur| cand < cur) {
+                        best[next] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        best[dst].expect("graph is connected")
+    }
+
+    /// End-to-end context-to-context latency across sockets, cycles.
+    pub fn latency(&self, src: usize, dst: usize) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let (wire, _) = self.dijkstra(src, dst);
+        self.overhead + wire
+    }
+
+    /// Number of hops on the cheapest path (0 for `src == dst`, 1 for a
+    /// direct link).
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        self.dijkstra(src, dst).1
+    }
+
+    /// Whether two sockets share a direct link.
+    pub fn directly_connected(&self, a: usize, b: usize) -> bool {
+        self.links
+            .iter()
+            .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    /// Effective bandwidth between two sockets: the weakest link on the
+    /// cheapest path, halved per extra hop (the forwarded traffic shares
+    /// the intermediate socket's links).
+    pub fn bandwidth(&self, src: usize, dst: usize) -> f64 {
+        if src == dst {
+            return f64::INFINITY;
+        }
+        // Recover the path by walking predecessors of the relaxation;
+        // for simplicity re-run a tiny search tracking paths.
+        let mut best: Vec<Option<(u32, usize, f64)>> = vec![None; self.sockets];
+        best[src] = Some((0, 0, f64::INFINITY));
+        for _ in 0..self.sockets {
+            let mut changed = false;
+            for s in 0..self.sockets {
+                let Some((w, h, bw)) = best[s] else { continue };
+                for (next, link) in self.neighbors(s) {
+                    let cand = (w + link.wire, h + 1, bw.min(link.bandwidth));
+                    if best[next].map_or(true, |cur| (cand.0, cand.1) < (cur.0, cur.1)) {
+                        best[next] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let (_, hops, min_bw) = best[dst].expect("graph is connected");
+        min_bw / hops.max(1) as f64
+    }
+
+    /// All distinct cross-socket latency values, ascending.
+    pub fn latency_levels(&self) -> Vec<u32> {
+        let mut vals: Vec<u32> = (0..self.sockets)
+            .flat_map(|a| ((a + 1)..self.sockets).map(move |b| (a, b)))
+            .map(|(a, b)| self.latency(a, b))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Interconnect {
+        let links = (0..n)
+            .map(|i| Link {
+                a: i,
+                b: (i + 1) % n,
+                wire: 100,
+                bandwidth: 10.0,
+            })
+            .collect();
+        Interconnect::new(n, 200, links)
+    }
+
+    #[test]
+    fn direct_link_latency() {
+        let ic = ring(4);
+        assert_eq!(ic.latency(0, 1), 300);
+        assert_eq!(ic.hops(0, 1), 1);
+    }
+
+    #[test]
+    fn two_hop_latency_sub_additive() {
+        let ic = ring(4);
+        // 0 -> 2 must go around: 2 hops, one overhead.
+        assert_eq!(ic.latency(0, 2), 400);
+        assert_eq!(ic.hops(0, 2), 2);
+        assert!(ic.latency(0, 2) < 2 * ic.latency(0, 1));
+    }
+
+    #[test]
+    fn full_mesh_single_level() {
+        let ic = Interconnect::full(4, 220, 120, 12.0);
+        assert_eq!(ic.latency_levels(), vec![340]);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(ic.hops(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let ic = ring(6);
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(ic.latency(a, b), ic.latency(b, a));
+                assert_eq!(ic.hops(a, b), ic.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_weakest_link_and_hop_sharing() {
+        let ic = Interconnect::new(
+            3,
+            200,
+            vec![
+                Link {
+                    a: 0,
+                    b: 1,
+                    wire: 100,
+                    bandwidth: 10.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    wire: 100,
+                    bandwidth: 4.0,
+                },
+            ],
+        );
+        assert_eq!(ic.bandwidth(0, 1), 10.0);
+        // Two hops: weakest link 4.0, shared over 2 hops.
+        assert_eq!(ic.bandwidth(0, 2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_rejected() {
+        let _ = Interconnect::new(
+            3,
+            200,
+            vec![Link {
+                a: 0,
+                b: 1,
+                wire: 1,
+                bandwidth: 1.0,
+            }],
+        );
+    }
+}

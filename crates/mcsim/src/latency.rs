@@ -1,0 +1,253 @@
+//! The context-to-context latency oracle: what the paper's lock-step
+//! CAS threads (Fig. 5) would measure on the simulated machine.
+
+use rand::rngs::SmallRng;
+use rand::{
+    Rng,
+    SeedableRng, //
+};
+
+use crate::machine::MachineSpec;
+use crate::noise::{
+    DvfsCfg,
+    NoiseCfg, //
+};
+
+/// Simulates the measurement pair of Fig. 5 of the paper on a machine
+/// spec, with realistic noise, DVFS ramp-up, and SMT interference.
+///
+/// # Examples
+///
+/// ```
+/// use mcsim::{presets, LatencyOracle};
+///
+/// let ivy = presets::ivy();
+/// let mut oracle = LatencyOracle::new(&ivy, 42);
+/// oracle.wait_max_freq(0);
+/// oracle.wait_max_freq(1);
+/// let raw = oracle.probe_raw(0, 1);
+/// // Raw measurements include the rdtsc read cost.
+/// assert!(raw >= 112);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyOracle<'m> {
+    spec: &'m MachineSpec,
+    noise: NoiseCfg,
+    dvfs: DvfsCfg,
+    rng: SmallRng,
+    /// Per-core busy units, drives the DVFS factor.
+    warmth: Vec<u32>,
+    /// Total raw probes issued (for the inference-cost accounting of
+    /// Section 3.5).
+    probes: u64,
+}
+
+impl<'m> LatencyOracle<'m> {
+    /// Oracle with default noise and DVFS enabled.
+    pub fn new(spec: &'m MachineSpec, seed: u64) -> Self {
+        Self::with_cfg(spec, seed, NoiseCfg::default(), DvfsCfg::default())
+    }
+
+    /// Oracle with explicit noise and DVFS configuration.
+    pub fn with_cfg(spec: &'m MachineSpec, seed: u64, noise: NoiseCfg, dvfs: DvfsCfg) -> Self {
+        LatencyOracle {
+            spec,
+            noise,
+            dvfs,
+            rng: SmallRng::seed_from_u64(seed),
+            warmth: vec![0; spec.total_cores()],
+            probes: 0,
+        }
+    }
+
+    /// Noise-free oracle (still includes the rdtsc cost in raw probes).
+    pub fn noiseless(spec: &'m MachineSpec) -> Self {
+        Self::with_cfg(spec, 0, NoiseCfg::none(), DvfsCfg::disabled())
+    }
+
+    /// The machine being probed.
+    pub fn spec(&self) -> &MachineSpec {
+        self.spec
+    }
+
+    /// Number of raw probes issued so far.
+    pub fn probe_count(&self) -> u64 {
+        self.probes
+    }
+
+    /// Number of hardware contexts (OS dependency #1 of Section 3).
+    pub fn num_hwcs(&self) -> usize {
+        self.spec.total_hwcs()
+    }
+
+    /// Number of memory nodes (OS dependency #2 of Section 3).
+    pub fn num_nodes(&self) -> usize {
+        self.spec.nodes
+    }
+
+    /// One raw lock-step measurement between contexts `a` and `b`:
+    /// true RFO latency, inflated by the DVFS factor of the colder core,
+    /// plus rdtsc cost, jitter, outliers, and quantization.
+    pub fn probe_raw(&mut self, a: usize, b: usize) -> u32 {
+        self.probes += 1;
+        let true_lat = self.spec.true_latency(a, b) as f64;
+        let ca = self.spec.loc(a).core;
+        let cb = self.spec.loc(b).core;
+        let factor = self
+            .dvfs
+            .factor(self.warmth[ca])
+            .max(self.dvfs.factor(self.warmth[cb]));
+        self.warm(ca, 1);
+        if cb != ca {
+            self.warm(cb, 1);
+        }
+        self.noise.apply(true_lat * factor, &mut self.rng)
+    }
+
+    /// What a calibration loop measuring back-to-back rdtsc reads
+    /// observes: the true cost plus slight jitter.
+    pub fn rdtsc_cost_estimate(&mut self) -> u32 {
+        let jitter = if self.noise.sigma_frac > 0.0 {
+            self.rng.gen_range(-2i64..=2) as f64
+        } else {
+            0.0
+        };
+        (self.noise.rdtsc_cost as f64 + jitter).max(0.0).round() as u32
+    }
+
+    /// Duration (in cycles) of a fixed spin loop of `iters` iterations
+    /// executed simultaneously on `ctxs`. Used for both DVFS detection
+    /// and SMT detection (Section 3.5): contexts sharing a core slow
+    /// each other down; cold cores run slow.
+    pub fn spin_duration(&mut self, ctxs: &[usize], iters: u64) -> u64 {
+        assert!(!ctxs.is_empty());
+        let mut worst = 0f64;
+        for (i, &c) in ctxs.iter().enumerate() {
+            let core = self.spec.loc(c).core;
+            let mut t = iters as f64 * self.dvfs.factor(self.warmth[core]);
+            // SMT resource sharing: each co-located context in the set
+            // slows this one down substantially.
+            let co_located = ctxs
+                .iter()
+                .enumerate()
+                .filter(|&(j, &o)| j != i && self.spec.loc(o).core == core)
+                .count();
+            t *= 1.0 + 0.75 * co_located as f64;
+            if self.noise.sigma_frac > 0.0 {
+                t *= 1.0
+                    + 0.2 * self.noise.sigma_frac * crate::noise::approx_std_normal(&mut self.rng);
+            }
+            worst = worst.max(t);
+        }
+        for &c in ctxs {
+            let core = self.spec.loc(c).core;
+            self.warm(core, (iters / 64).max(1) as u32);
+        }
+        worst as u64
+    }
+
+    /// Spins on `ctx` until its core reaches maximum frequency: the DVFS
+    /// countermeasure of Section 3.5 ("libmctop explicitly waits for the
+    /// frequency of both cores to reach its maximum").
+    ///
+    /// Returns the number of detection rounds used.
+    pub fn wait_max_freq(&mut self, ctx: usize) -> u32 {
+        let mut rounds = 0;
+        loop {
+            let d1 = self.spin_duration(&[ctx], 4096);
+            let d2 = self.spin_duration(&[ctx], 4096);
+            rounds += 1;
+            // If a subsequent run of the same loop is no faster, the core
+            // has stopped transitioning between DVFS states.
+            if d2 as f64 >= d1 as f64 * 0.98 || rounds > 64 {
+                return rounds;
+            }
+        }
+    }
+
+    fn warm(&mut self, core: usize, units: u32) {
+        self.warmth[core] = self.warmth[core].saturating_add(units);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn noiseless_probe_is_truth_plus_rdtsc() {
+        let ivy = presets::ivy();
+        let mut o = LatencyOracle::noiseless(&ivy);
+        assert_eq!(o.probe_raw(0, 1), 112 + 24);
+        assert_eq!(o.probe_raw(0, 10), 308 + 24);
+        assert_eq!(o.probe_raw(0, 20), 28 + 24);
+    }
+
+    #[test]
+    fn cold_cores_probe_slow_then_stabilize() {
+        let ivy = presets::ivy();
+        let noise = NoiseCfg {
+            sigma_frac: 0.0,
+            outlier_prob: 0.0,
+            ..NoiseCfg::default()
+        };
+        let mut o = LatencyOracle::with_cfg(&ivy, 1, noise, DvfsCfg::default());
+        let cold = o.probe_raw(0, 1);
+        // Warm both cores fully.
+        o.wait_max_freq(0);
+        o.wait_max_freq(1);
+        let warm = o.probe_raw(0, 1);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+        assert_eq!(warm, 112 + 24);
+    }
+
+    #[test]
+    fn wait_max_freq_converges() {
+        let ivy = presets::ivy();
+        let mut o = LatencyOracle::new(&ivy, 3);
+        let rounds = o.wait_max_freq(5);
+        assert!(rounds <= 64);
+        // Afterwards the spin duration is stable.
+        let d1 = o.spin_duration(&[5], 256);
+        let d2 = o.spin_duration(&[5], 256);
+        assert!((d1 as f64 - d2 as f64).abs() / (d1 as f64) < 0.1);
+    }
+
+    #[test]
+    fn smt_siblings_slow_each_other() {
+        let ivy = presets::ivy();
+        let mut o = LatencyOracle::noiseless(&ivy);
+        let solo = o.spin_duration(&[0], 10_000);
+        // Contexts 0 and 20 share a core on Ivy.
+        let paired_same_core = o.spin_duration(&[0, 20], 10_000);
+        let paired_diff_core = o.spin_duration(&[0, 1], 10_000);
+        assert!(paired_same_core as f64 > solo as f64 * 1.5);
+        assert!(paired_diff_core < paired_same_core);
+    }
+
+    #[test]
+    fn probe_counter_counts() {
+        let ivy = presets::ivy();
+        let mut o = LatencyOracle::noiseless(&ivy);
+        for _ in 0..10 {
+            o.probe_raw(0, 1);
+        }
+        assert_eq!(o.probe_count(), 10);
+    }
+
+    #[test]
+    fn median_of_noisy_probes_recovers_truth() {
+        let west = presets::westmere();
+        let mut o = LatencyOracle::new(&west, 9);
+        o.wait_max_freq(0);
+        o.wait_max_freq(40);
+        let rdtsc = o.rdtsc_cost_estimate();
+        let mut vals: Vec<u32> = (0..501).map(|_| o.probe_raw(0, 40)).collect();
+        vals.sort_unstable();
+        let median = vals[vals.len() / 2].saturating_sub(rdtsc);
+        let truth = west.true_latency(0, 40);
+        let err = (median as f64 - truth as f64).abs() / truth as f64;
+        assert!(err < 0.05, "median {median} truth {truth}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Real-thread lock throughput harness (the host-execution path of the
+//! Fig. 8 experiment: multiple threads compete for one lock, perform
+//! 1000 cycles of work in the critical section, release, and pause
+//! between iterations).
+
+use std::sync::atomic::{
+    AtomicBool,
+    AtomicU64,
+    Ordering, //
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::backoff::BackoffCfg;
+use crate::raw::{
+    with_lock,
+    LockAlgo,
+    RawLock, //
+};
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessCfg {
+    /// Competing threads.
+    pub threads: usize,
+    /// Critical-section work: iterations of a dependent arithmetic
+    /// chain (~1 cycle each; the paper uses 1000 cycles).
+    pub cs_work: u64,
+    /// Non-critical pause between iterations, same units.
+    pub noncs_work: u64,
+    /// Wall-clock duration of the measurement.
+    pub duration: Duration,
+}
+
+impl Default for HarnessCfg {
+    fn default() -> Self {
+        HarnessCfg {
+            threads: 2,
+            cs_work: 1000,
+            noncs_work: 600,
+            duration: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessResult {
+    /// Total completed critical sections.
+    pub ops: u64,
+    /// Throughput, operations per second.
+    pub ops_per_sec: f64,
+}
+
+#[inline]
+fn work(units: u64) -> u64 {
+    let mut x = units | 1;
+    for i in 0..units {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(x)
+}
+
+/// Runs the throughput experiment for one lock configuration.
+pub fn run(algo: LockAlgo, backoff: BackoffCfg, cfg: &HarnessCfg) -> HarnessResult {
+    let lock: Arc<dyn RawLock + Send + Sync> = Arc::from(algo.build(backoff));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    // Shared counter protected by the lock: doubles as a correctness
+    // check (must equal total ops at the end).
+    let protected = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|_| {
+            let lock = Arc::clone(&lock);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            let protected = Arc::clone(&protected);
+            let cfg = *cfg;
+            std::thread::spawn(move || {
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    with_lock(&*lock, || {
+                        work(cfg.cs_work);
+                        // Relaxed is fine: the lock orders the accesses.
+                        protected.store(protected.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                    });
+                    local += 1;
+                    work(cfg.noncs_work);
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("lock harness thread panicked");
+    }
+    let total = ops.load(Ordering::Relaxed);
+    assert_eq!(
+        protected.load(Ordering::Relaxed),
+        total,
+        "mutual exclusion violated: lost updates under {}",
+        algo.name()
+    );
+    HarnessResult {
+        ops: total,
+        ops_per_sec: total as f64 / cfg.duration.as_secs_f64(),
+    }
+}
+
+/// Runs the with/without-backoff comparison (one Fig. 8 bar pair) on
+/// the host.
+pub fn compare(
+    algo: LockAlgo,
+    quantum_cycles: u32,
+    cfg: &HarnessCfg,
+) -> (HarnessResult, HarnessResult) {
+    let base = run(algo, BackoffCfg::none(), cfg);
+    let educated = run(algo, BackoffCfg { quantum_cycles }, cfg);
+    (base, educated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_make_progress() {
+        let cfg = HarnessCfg {
+            threads: 2,
+            duration: Duration::from_millis(120),
+            ..HarnessCfg::default()
+        };
+        for algo in LockAlgo::ALL {
+            let r = run(algo, BackoffCfg::none(), &cfg);
+            assert!(r.ops > 100, "{}: only {} ops", algo.name(), r.ops);
+        }
+    }
+
+    #[test]
+    fn backoff_variants_also_progress() {
+        let cfg = HarnessCfg {
+            threads: 2,
+            duration: Duration::from_millis(120),
+            ..HarnessCfg::default()
+        };
+        for algo in LockAlgo::ALL {
+            let r = run(
+                algo,
+                BackoffCfg {
+                    quantum_cycles: 300,
+                },
+                &cfg,
+            );
+            assert!(r.ops > 50, "{}: only {} ops", algo.name(), r.ops);
+        }
+    }
+
+    #[test]
+    fn compare_returns_both_sides() {
+        let cfg = HarnessCfg {
+            threads: 2,
+            duration: Duration::from_millis(80),
+            ..HarnessCfg::default()
+        };
+        let (base, educated) = compare(LockAlgo::Ticket, 300, &cfg);
+        assert!(base.ops_per_sec > 0.0);
+        assert!(educated.ops_per_sec > 0.0);
+    }
+}

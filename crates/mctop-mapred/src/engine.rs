@@ -1,0 +1,224 @@
+//! The MapReduce engine: split -> map (per-worker partitioned
+//! hash tables) -> reduce (per partition) -> sorted merge.
+//!
+//! Workers are created in the order of an MCTOP-PLACE placement, so the
+//! high-level policies of Table 2 directly control which hardware
+//! contexts do the work (the paper's replacement for Metis's sequential
+//! pinning).
+
+use std::collections::HashMap;
+use std::hash::{
+    Hash,
+    Hasher, //
+};
+
+use mctop_place::Placement;
+
+/// A MapReduce job: user-provided map and reduce functions.
+pub trait MapReduce: Sync {
+    /// Input record.
+    type Item: Sync;
+    /// Intermediate key.
+    type K: Ord + Hash + Eq + Send + Clone;
+    /// Intermediate value.
+    type V: Send;
+    /// Reduced output per key.
+    type Out: Send;
+
+    /// Emits intermediate pairs for one record.
+    fn map(&self, item: &Self::Item, emit: &mut dyn FnMut(Self::K, Self::V));
+
+    /// Folds all values of one key.
+    fn reduce(&self, key: &Self::K, values: Vec<Self::V>) -> Self::Out;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCfg {
+    /// Reduce partitions (defaults to 4x workers).
+    pub partitions: Option<usize>,
+}
+
+impl Default for EngineCfg {
+    fn default() -> Self {
+        EngineCfg { partitions: None }
+    }
+}
+
+fn partition_of<K: Hash>(key: &K, n: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % n
+}
+
+/// Runs a job over `items` with one worker per placement slot; returns
+/// `(key, out)` pairs sorted by key.
+pub fn run_job<J: MapReduce>(
+    job: &J,
+    items: &[J::Item],
+    placement: &Placement,
+    cfg: &EngineCfg,
+) -> Vec<(J::K, J::Out)> {
+    let workers = placement.capacity().max(1);
+    let partitions = cfg.partitions.unwrap_or(workers * 4).max(1);
+
+    // --- Map phase: one partitioned table per worker -------------------
+    let chunk = items.len().div_ceil(workers).max(1);
+    let mut tables: Vec<Vec<HashMap<J::K, Vec<J::V>>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let slice = items
+                .get(w * chunk..((w + 1) * chunk).min(items.len()))
+                .unwrap_or(&[]);
+            handles.push(scope.spawn(move || {
+                // Pin virtually: the placement decided our context; OS
+                // pinning happens when the context exists on the host.
+                let mut local: Vec<HashMap<J::K, Vec<J::V>>> =
+                    (0..partitions).map(|_| HashMap::new()).collect();
+                for item in slice {
+                    job.map(item, &mut |k, v| {
+                        let p = partition_of(&k, partitions);
+                        local[p].entry(k).or_default().push(v);
+                    });
+                }
+                local
+            }));
+        }
+        for h in handles {
+            tables.push(h.join().expect("map worker panicked"));
+        }
+    });
+
+    // --- Shuffle: regroup by partition ----------------------------------
+    let mut per_partition: Vec<Vec<HashMap<J::K, Vec<J::V>>>> =
+        (0..partitions).map(|_| Vec::new()).collect();
+    for worker_tables in tables {
+        for (p, table) in worker_tables.into_iter().enumerate() {
+            per_partition[p].push(table);
+        }
+    }
+
+    // --- Reduce phase: partitions distributed over the same workers ----
+    let mut results: Vec<Vec<(J::K, J::Out)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut partition_iter = per_partition.into_iter().collect::<Vec<_>>();
+        let per_worker = partition_iter.len().div_ceil(workers).max(1);
+        let mut rest = partition_iter.drain(..).collect::<Vec<_>>();
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len());
+            let batch: Vec<_> = rest.drain(..take).collect();
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for tables in batch {
+                    // Merge the workers' tables for this partition.
+                    let mut merged: HashMap<J::K, Vec<J::V>> = HashMap::new();
+                    for t in tables {
+                        for (k, mut vs) in t {
+                            merged.entry(k).or_default().append(&mut vs);
+                        }
+                    }
+                    for (k, vs) in merged {
+                        let o = job.reduce(&k, vs);
+                        out.push((k, o));
+                    }
+                }
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("reduce worker panicked"));
+        }
+    });
+
+    // --- Final merge: sort by key ---------------------------------------
+    let mut out: Vec<(J::K, J::Out)> = results.into_iter().flatten().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop_place::{
+        PlaceOpts,
+        Policy, //
+    };
+
+    fn placement(n: usize) -> Placement {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        let topo = mctop::infer(&mut p, &cfg).unwrap();
+        Placement::new(&topo, Policy::RrCore, PlaceOpts::threads(n)).unwrap()
+    }
+
+    struct Counter;
+    impl MapReduce for Counter {
+        type Item = u32;
+        type K = u32;
+        type V = u32;
+        type Out = u32;
+        fn map(&self, item: &u32, emit: &mut dyn FnMut(u32, u32)) {
+            emit(item % 10, 1);
+        }
+        fn reduce(&self, _k: &u32, values: Vec<u32>) -> u32 {
+            values.into_iter().sum()
+        }
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let place = placement(4);
+        let out = run_job(&Counter, &items, &place, &EngineCfg::default());
+        assert_eq!(out.len(), 10);
+        for (k, c) in out {
+            assert_eq!(c, 1000, "key {k}");
+        }
+    }
+
+    #[test]
+    fn output_sorted_by_key() {
+        let items: Vec<u32> = (0..977).rev().collect();
+        let place = placement(3);
+        let out = run_job(&Counter, &items, &place, &EngineCfg::default());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn single_worker_and_empty_input() {
+        let place = placement(1);
+        let out = run_job(&Counter, &[], &place, &EngineCfg::default());
+        assert!(out.is_empty());
+        let out = run_job(&Counter, &[5], &place, &EngineCfg::default());
+        assert_eq!(out, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn partition_count_does_not_change_results() {
+        let items: Vec<u32> = (0..5000).collect();
+        let place = placement(4);
+        let a = run_job(
+            &Counter,
+            &items,
+            &place,
+            &EngineCfg {
+                partitions: Some(1),
+            },
+        );
+        let b = run_job(
+            &Counter,
+            &items,
+            &place,
+            &EngineCfg {
+                partitions: Some(64),
+            },
+        );
+        assert_eq!(a, b);
+    }
+}

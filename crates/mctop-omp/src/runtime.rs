@@ -1,0 +1,213 @@
+//! The parallel-for runtime with runtime-selectable binding policies.
+
+use std::sync::Arc;
+
+use mctop::Mctop;
+use mctop_place::{
+    PlaceError,
+    PlaceOpts,
+    PlacePool,
+    Policy, //
+};
+
+/// An OpenMP-like runtime: `parallel_for` regions execute on threads
+/// bound according to the *currently selected* MCTOP-PLACE policy; the
+/// policy can change between regions (`omp_set_binding_policy` of the
+/// paper).
+pub struct OmpRuntime {
+    pool: PlacePool,
+    threads: usize,
+}
+
+impl OmpRuntime {
+    /// A runtime over a topology with the given team size.
+    pub fn new(topo: Arc<Mctop>, threads: usize) -> Self {
+        let threads = threads.clamp(1, topo.num_hwcs());
+        let pool = PlacePool::new(topo, PlaceOpts::threads(threads));
+        let _ = pool.select(Policy::None);
+        OmpRuntime { pool, threads }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The `omp_set_binding_policy` extension: selects the placement
+    /// policy used by subsequent parallel regions.
+    pub fn set_binding_policy(&self, policy: Policy) -> Result<(), PlaceError> {
+        self.pool.select(policy).map(|_| ())
+    }
+
+    /// The currently selected policy.
+    pub fn binding_policy(&self) -> Policy {
+        self.pool.current_policy()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Arc<Mctop> {
+        self.pool.topology()
+    }
+
+    /// A parallel-for over `0..n`: `body(i)` runs exactly once per
+    /// index, statically chunked over the team.
+    pub fn parallel_for<F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_chunked(n, |range| {
+            for i in range {
+                body(i);
+            }
+        });
+    }
+
+    /// A parallel-for handing each worker a contiguous index range
+    /// (lets bodies vectorize / batch).
+    pub fn parallel_for_chunked<F>(&self, n: usize, body: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n).max(1);
+        let placement = self.pool.current().expect("current policy is materialized");
+        let chunk = n.div_ceil(workers);
+        let host_cpus = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let placement = Arc::clone(&placement);
+                let body = &body;
+                scope.spawn(move || {
+                    // Bind if the policy pins and the context exists on
+                    // the host; virtual otherwise.
+                    let pin = placement.pin();
+                    if let Some(p) = pin {
+                        if placement.pins() && p.hwc < host_cpus {
+                            let _ = mctop_place::pin_os_thread(p.hwc);
+                        }
+                    }
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    if lo < hi {
+                        body(lo..hi);
+                    }
+                    if let Some(p) = pin {
+                        placement.unpin(p);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Runs `region` under `policy`, restoring the previous policy
+    /// afterwards — per-parallel-region placement (the Combination
+    /// application of Fig. 12 interleaves two kernels this way).
+    pub fn with_policy<R>(
+        &self,
+        policy: Policy,
+        region: impl FnOnce(&Self) -> R,
+    ) -> Result<R, PlaceError> {
+        let prev = self.binding_policy();
+        self.set_binding_policy(policy)?;
+        let out = region(self);
+        let _ = self.set_binding_policy(prev);
+        Ok(out)
+    }
+
+    /// Parallel reduction: each worker folds its range, the partials
+    /// fold sequentially.
+    pub fn parallel_reduce<T, F, G>(&self, n: usize, identity: T, fold: F, combine: G) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(std::ops::Range<usize>, T) -> T + Sync,
+        G: Fn(T, T) -> T,
+    {
+        let partials = parking_lot::Mutex::new(Vec::new());
+        self.parallel_for_chunked(n, |range| {
+            let v = fold(range, identity.clone());
+            partials.lock().push(v);
+        });
+        partials.into_inner().into_iter().fold(identity, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{
+        AtomicU64,
+        Ordering, //
+    };
+
+    fn topo() -> Arc<Mctop> {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        Arc::new(mctop::infer(&mut p, &cfg).unwrap())
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let rt = OmpRuntime::new(topo(), 4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        rt.parallel_for(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn policy_switch_between_regions() {
+        let rt = OmpRuntime::new(topo(), 4);
+        rt.set_binding_policy(Policy::ConHwc).unwrap();
+        assert_eq!(rt.binding_policy(), Policy::ConHwc);
+        rt.parallel_for(10, |_| {});
+        rt.set_binding_policy(Policy::RrCore).unwrap();
+        assert_eq!(rt.binding_policy(), Policy::RrCore);
+        rt.parallel_for(10, |_| {});
+    }
+
+    #[test]
+    fn with_policy_restores_previous() {
+        let rt = OmpRuntime::new(topo(), 2);
+        rt.set_binding_policy(Policy::BalanceHwc).unwrap();
+        let out = rt
+            .with_policy(Policy::ConCore, |rt| {
+                assert_eq!(rt.binding_policy(), Policy::ConCore);
+                42
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(rt.binding_policy(), Policy::BalanceHwc);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let rt = OmpRuntime::new(topo(), 3);
+        let total = rt.parallel_reduce(
+            10_001,
+            0u64,
+            |range, acc| acc + range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_loops() {
+        let rt = OmpRuntime::new(topo(), 8);
+        rt.parallel_for(0, |_| panic!("must not run"));
+        let count = AtomicU64::new(0);
+        rt.parallel_for(1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

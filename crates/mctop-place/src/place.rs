@@ -1,0 +1,765 @@
+//! Placement computation, statistics and the pin/unpin interface.
+
+use std::sync::atomic::{
+    AtomicBool,
+    Ordering, //
+};
+
+use mctop::Mctop;
+
+use crate::policy::Policy;
+
+/// Options for building a placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaceOpts {
+    /// Number of threads to place (default: as many as the policy can
+    /// hold — usually every hardware context).
+    pub n_threads: Option<usize>,
+    /// Restrict the placement to this many sockets, in the policy's
+    /// socket order.
+    pub n_sockets: Option<usize>,
+}
+
+impl PlaceOpts {
+    /// Place exactly `n` threads.
+    pub fn threads(n: usize) -> Self {
+        PlaceOpts {
+            n_threads: Some(n),
+            n_sockets: None,
+        }
+    }
+
+    /// Place `n` threads on at most `s` sockets.
+    pub fn threads_on_sockets(n: usize, s: usize) -> Self {
+        PlaceOpts {
+            n_threads: Some(n),
+            n_sockets: Some(s),
+        }
+    }
+}
+
+/// Placement construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The POWER policy needs power measurements (Intel-only in the
+    /// paper) and the topology has none.
+    PowerUnavailable,
+    /// RR_SCALE needs per-socket bandwidth measurements.
+    BandwidthUnavailable,
+    /// More threads requested than the policy can place.
+    TooManyThreads {
+        /// Threads requested.
+        requested: usize,
+        /// Contexts the policy can hand out.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::PowerUnavailable => {
+                f.write_str("POWER placement requires power measurements")
+            }
+            PlaceError::BandwidthUnavailable => {
+                f.write_str("RR_SCALE placement requires bandwidth measurements")
+            }
+            PlaceError::TooManyThreads {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{requested} threads requested, only {available} contexts available"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A pinned thread's view of its location (what a thread "has access
+/// to" after pinning, per Section 6: local node, context and core ids
+/// within the socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinHandle {
+    /// Slot index within the placement order.
+    pub slot: usize,
+    /// Hardware-context OS id.
+    pub hwc: usize,
+    /// Socket id.
+    pub socket: usize,
+    /// Local memory node of the socket, if known.
+    pub local_node: Option<usize>,
+    /// Core index within the machine.
+    pub core: usize,
+    /// Context index within its socket (position in socket order).
+    pub hwc_in_socket: usize,
+}
+
+/// A computed placement: an ordered hand-out list of hardware contexts
+/// plus runtime pin/unpin state.
+#[derive(Debug)]
+pub struct Placement {
+    policy: Policy,
+    order: Vec<usize>,
+    handles: Vec<PinHandle>,
+    used: Vec<AtomicBool>,
+    max_latency: u32,
+    min_bandwidth: Option<f64>,
+    stats: PlaceStats,
+}
+
+/// The statistics block of `mctop_place_print` (Fig. 7 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceStats {
+    /// Policy name.
+    pub policy: Policy,
+    /// Distinct cores used.
+    pub n_cores: usize,
+    /// Hand-out order of hardware contexts.
+    pub hwcs: Vec<usize>,
+    /// Sockets used, in policy order.
+    pub sockets: Vec<usize>,
+    /// Contexts per used socket.
+    pub hwc_per_socket: Vec<usize>,
+    /// Cores per used socket.
+    pub cores_per_socket: Vec<usize>,
+    /// Fraction of the placement's threads on each used socket.
+    pub bw_proportions: Vec<f64>,
+    /// Estimated per-socket power without DRAM, W (used sockets only;
+    /// requires power measurements).
+    pub pow_no_dram: Option<Vec<f64>>,
+    /// Estimated per-socket power with DRAM, W.
+    pub pow_with_dram: Option<Vec<f64>>,
+    /// Maximum communication latency between any two placed contexts.
+    pub max_latency: u32,
+    /// Minimum local bandwidth among the used sockets, GB/s.
+    pub min_bandwidth: Option<f64>,
+}
+
+impl Placement {
+    /// Computes a placement over `topo`.
+    pub fn new(topo: &Mctop, policy: Policy, opts: PlaceOpts) -> Result<Placement, PlaceError> {
+        let full_order = policy_order(topo, policy, opts.n_sockets)?;
+        let available = full_order.len();
+        let n = opts.n_threads.unwrap_or(available);
+        if n > available {
+            return Err(PlaceError::TooManyThreads {
+                requested: n,
+                available,
+            });
+        }
+        let order: Vec<usize> = full_order.into_iter().take(n).collect();
+
+        // Per-socket bookkeeping in socket-first-use order.
+        let mut sockets: Vec<usize> = Vec::new();
+        for &h in &order {
+            let s = topo.socket_of(h);
+            if !sockets.contains(&s) {
+                sockets.push(s);
+            }
+        }
+        let mut socket_pos = vec![0usize; topo.num_sockets()];
+        let handles: Vec<PinHandle> = order
+            .iter()
+            .enumerate()
+            .map(|(slot, &h)| {
+                let ctx = &topo.hwcs[h];
+                let pos = socket_pos[ctx.socket];
+                socket_pos[ctx.socket] += 1;
+                PinHandle {
+                    slot,
+                    hwc: h,
+                    socket: ctx.socket,
+                    local_node: topo.get_local_node(h),
+                    core: ctx.core,
+                    hwc_in_socket: pos,
+                }
+            })
+            .collect();
+
+        let max_latency = topo.max_latency_between(&order);
+        let min_bandwidth = topo.min_bandwidth_of(&order);
+        let stats = build_stats(topo, policy, &order, &sockets, max_latency, min_bandwidth);
+        let used = order.iter().map(|_| AtomicBool::new(false)).collect();
+        Ok(Placement {
+            policy,
+            order,
+            handles,
+            used,
+            max_latency,
+            min_bandwidth,
+            stats,
+        })
+    }
+
+    /// The policy of this placement.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The hand-out order of hardware contexts.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Whether threads should actually be bound (false for NONE).
+    pub fn pins(&self) -> bool {
+        self.policy.pins()
+    }
+
+    /// Number of placement slots.
+    pub fn capacity(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Claims the next available context ("pinning a thread to the next
+    /// available context of a MCTOP-PLACE object"). Thread-safe.
+    pub fn pin(&self) -> Option<PinHandle> {
+        for (i, flag) in self.used.iter().enumerate() {
+            if flag
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(self.handles[i]);
+            }
+        }
+        None
+    }
+
+    /// Returns a context to the placement ("unpinning a thread from the
+    /// context and returning it").
+    pub fn unpin(&self, handle: PinHandle) {
+        assert!(handle.slot < self.used.len(), "foreign handle");
+        self.used[handle.slot].store(false, Ordering::Release);
+    }
+
+    /// Maximum communication latency between any two placed contexts:
+    /// the backoff quantum of Section 5's "educated backoffs".
+    pub fn max_latency(&self) -> u32 {
+        self.max_latency
+    }
+
+    /// Minimum local bandwidth among used sockets.
+    pub fn min_bandwidth(&self) -> Option<f64> {
+        self.min_bandwidth
+    }
+
+    /// The statistics block.
+    pub fn stats(&self) -> &PlaceStats {
+        &self.stats
+    }
+
+    /// The Fig. 7 printout.
+    pub fn print(&self) -> String {
+        self.stats.render()
+    }
+}
+
+impl PlaceStats {
+    /// Renders the `mctop_place_print` block of Fig. 7.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## MCTOP Placement : MCTOP_PLACE_{}",
+            self.policy.name()
+        );
+        let _ = writeln!(out, "# # Cores         : {}", self.n_cores);
+        let list: Vec<String> = self.hwcs.iter().map(|h| h.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "# HW contexts ({}) : {}",
+            self.hwcs.len(),
+            list.join(" ")
+        );
+        // The C library displays sockets with a 20000 offset.
+        let socks: Vec<String> = self
+            .sockets
+            .iter()
+            .map(|s| (20000 + s).to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "# Sockets ({})     : {}",
+            self.sockets.len(),
+            socks.join(" ")
+        );
+        let per: Vec<String> = self.hwc_per_socket.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "# # HW ctx / socket: {}", per.join(" "));
+        let cps: Vec<String> = self
+            .cores_per_socket
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(out, "# # Cores / socket : {}", cps.join(" "));
+        let props: Vec<String> = self
+            .bw_proportions
+            .iter()
+            .map(|p| format!("{p:.3}"))
+            .collect();
+        let _ = writeln!(out, "# BW proportions   : {}", props.join(" "));
+        if let (Some(no), Some(with)) = (&self.pow_no_dram, &self.pow_with_dram) {
+            let f = |v: &Vec<f64>| {
+                let parts: Vec<String> = v.iter().map(|w| format!("{w:.1}")).collect();
+                format!("{} = {:.1} Watt", parts.join(" "), v.iter().sum::<f64>())
+            };
+            let _ = writeln!(out, "# Max pow no DRAM  : {}", f(no));
+            let _ = writeln!(out, "# Max pow with DRAM: {}", f(with));
+        }
+        let _ = writeln!(out, "# Max latency      : {} cycles", self.max_latency);
+        if let Some(bw) = self.min_bandwidth {
+            let _ = writeln!(out, "# Min bandwidth    : {bw:.2} GB/s");
+        }
+        out
+    }
+}
+
+fn build_stats(
+    topo: &Mctop,
+    policy: Policy,
+    order: &[usize],
+    sockets: &[usize],
+    max_latency: u32,
+    min_bandwidth: Option<f64>,
+) -> PlaceStats {
+    let mut cores: Vec<usize> = order.iter().map(|&h| topo.hwcs[h].core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    let hwc_per_socket: Vec<usize> = sockets
+        .iter()
+        .map(|&s| order.iter().filter(|&&h| topo.socket_of(h) == s).count())
+        .collect();
+    let cores_per_socket: Vec<usize> = sockets
+        .iter()
+        .map(|&s| {
+            let mut c: Vec<usize> = order
+                .iter()
+                .filter(|&&h| topo.socket_of(h) == s)
+                .map(|&h| topo.hwcs[h].core)
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            c.len()
+        })
+        .collect();
+    let total = order.len().max(1);
+    let bw_proportions: Vec<f64> = hwc_per_socket
+        .iter()
+        .map(|&c| c as f64 / total as f64)
+        .collect();
+    let (pow_no_dram, pow_with_dram) = match &topo.power {
+        Some(p) => {
+            let per_socket = |with_dram: bool| -> Vec<f64> {
+                sockets
+                    .iter()
+                    .map(|&s| {
+                        let on_socket: Vec<usize> = order
+                            .iter()
+                            .copied()
+                            .filter(|&h| topo.socket_of(h) == s)
+                            .collect();
+                        // Per-socket power: subtract the other sockets'
+                        // idle base from the machine estimate.
+                        p.estimate(topo, &on_socket, with_dram)
+                            - (topo.num_sockets() - 1) as f64 * p.socket_base_w
+                    })
+                    .collect()
+            };
+            (Some(per_socket(false)), Some(per_socket(true)))
+        }
+        None => (None, None),
+    };
+    PlaceStats {
+        policy,
+        n_cores: cores.len(),
+        hwcs: order.to_vec(),
+        sockets: sockets.to_vec(),
+        hwc_per_socket,
+        cores_per_socket,
+        bw_proportions,
+        pow_no_dram,
+        pow_with_dram,
+        max_latency,
+        min_bandwidth,
+    }
+}
+
+/// Computes the full hand-out order of a policy (before truncation to
+/// the requested thread count).
+fn policy_order(
+    topo: &Mctop,
+    policy: Policy,
+    n_sockets: Option<usize>,
+) -> Result<Vec<usize>, PlaceError> {
+    let all: Vec<usize> = (0..topo.num_hwcs()).collect();
+    let mut socket_order = topo.socket_order_bandwidth_proximity();
+    if let Some(k) = n_sockets {
+        socket_order.truncate(k.max(1));
+    }
+    let order = match policy {
+        Policy::None | Policy::Sequential => all,
+        Policy::ConHwc => socket_order
+            .iter()
+            .flat_map(|&s| topo.socket_hwcs_compact(s))
+            .collect(),
+        Policy::ConCoreHwc => socket_order
+            .iter()
+            .flat_map(|&s| topo.socket_hwcs_cores_first(s))
+            .collect(),
+        Policy::ConCore => {
+            // All unique cores of all used sockets, then second+
+            // contexts.
+            let mut out = Vec::new();
+            for round in 0..topo.smt() {
+                for &s in &socket_order {
+                    for &cg in &topo.sockets[s].cores {
+                        if let Some(&h) = topo.groups[cg].hwcs.get(round) {
+                            out.push(h);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Policy::BalanceHwc | Policy::BalanceCoreHwc | Policy::BalanceCore => {
+            // Balanced: interleave sockets so that any prefix of the
+            // order is (near-)evenly spread across the used sockets.
+            let per_socket: Vec<Vec<usize>> = socket_order
+                .iter()
+                .map(|&s| match policy {
+                    Policy::BalanceHwc => topo.socket_hwcs_compact(s),
+                    _ => topo.socket_hwcs_cores_first(s),
+                })
+                .collect();
+            round_robin(per_socket, usize::MAX)
+        }
+        Policy::RrCore => {
+            let per_socket: Vec<Vec<usize>> = socket_order
+                .iter()
+                .map(|&s| topo.socket_hwcs_cores_first(s))
+                .collect();
+            round_robin(per_socket, usize::MAX)
+        }
+        Policy::RrHwc => {
+            let per_socket: Vec<Vec<usize>> = socket_order
+                .iter()
+                .map(|&s| topo.socket_hwcs_compact(s))
+                .collect();
+            round_robin(per_socket, usize::MAX)
+        }
+        Policy::Power => {
+            let power = topo.power.as_ref().ok_or(PlaceError::PowerUnavailable)?;
+            // Greedy: repeatedly add the context with the smallest
+            // marginal power (ties toward lower OS ids).
+            let mut chosen: Vec<usize> = Vec::new();
+            let mut remaining: Vec<usize> = all;
+            while !remaining.is_empty() {
+                let base = power.estimate(topo, &chosen, true);
+                let (idx, _) = remaining
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &h)| {
+                        let mut with = chosen.clone();
+                        with.push(h);
+                        (i, power.estimate(topo, &with, true) - base)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("power is finite"))
+                    .expect("remaining non-empty");
+                chosen.push(remaining.remove(idx));
+            }
+            chosen
+        }
+        Policy::RrScale => {
+            // RR_CORE capped per socket at bandwidth saturation.
+            let caps: Vec<usize> = socket_order
+                .iter()
+                .map(|&s| {
+                    let sock = &topo.sockets[s];
+                    let local = sock.local_bandwidth();
+                    let single = sock.single_core_bw;
+                    match (local, single) {
+                        (Some(bw), Some(one)) if one > 0.0 => {
+                            Ok(((bw / one).ceil() as usize).max(1))
+                        }
+                        _ => Err(PlaceError::BandwidthUnavailable),
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let per_socket: Vec<Vec<usize>> = socket_order
+                .iter()
+                .zip(&caps)
+                .map(|(&s, &cap)| {
+                    topo.socket_hwcs_cores_first(s)
+                        .into_iter()
+                        .take(cap)
+                        .collect()
+                })
+                .collect();
+            round_robin(per_socket, usize::MAX)
+        }
+    };
+    Ok(order)
+}
+
+/// Interleaves per-socket lists round-robin, up to `limit` entries.
+fn round_robin(mut lists: Vec<Vec<usize>>, limit: usize) -> Vec<usize> {
+    for l in lists.iter_mut() {
+        l.reverse(); // Pop from the back.
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut any = false;
+        for l in lists.iter_mut() {
+            if let Some(h) = l.pop() {
+                out.push(h);
+                any = true;
+                if out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+        if !any {
+            return out;
+        }
+    }
+}
+
+/// Pins the calling OS thread to a CPU (Linux). On other platforms this
+/// is a no-op returning `false`.
+pub fn pin_os_thread(cpu: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: `cpu_set_t` is a plain bitmask initialized by zeroing;
+        // CPU_SET stays in bounds for `cpu < CPU_SETSIZE`; pid 0 targets
+        // only the calling thread.
+        unsafe {
+            if cpu >= libc::CPU_SETSIZE as usize {
+                return false;
+            }
+            let mut set: libc::cpu_set_t = std::mem::zeroed();
+            libc::CPU_SET(cpu, &mut set);
+            libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = cpu;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop::backend::SimProber;
+    use mctop::enrich::{
+        enrich_all,
+        SimEnricher, //
+    };
+    use mctop::ProbeConfig;
+
+    fn topo(spec: &mcsim::MachineSpec) -> Mctop {
+        let mut p = SimProber::noiseless(spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let mut t = mctop::infer(&mut p, &cfg).unwrap();
+        let mut e = SimEnricher::new(spec);
+        let mut pw = SimEnricher::new(spec);
+        enrich_all(&mut t, &mut e, &mut pw).unwrap();
+        t
+    }
+
+    #[test]
+    fn fig7_con_hwc_on_ivy() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::ConHwc, PlaceOpts::threads(30)).unwrap();
+        let s = p.stats();
+        // Fig. 7 exactly: 15 cores, contexts 0 20 1 21 2 22 ..., two
+        // sockets with 20/10 contexts and 10/5 cores, max latency 308,
+        // min bandwidth 24.3 GB/s.
+        assert_eq!(s.n_cores, 15);
+        assert_eq!(&s.hwcs[..6], &[0, 20, 1, 21, 2, 22]);
+        assert_eq!(s.hwc_per_socket, vec![20, 10]);
+        assert_eq!(s.cores_per_socket, vec![10, 5]);
+        assert_eq!(s.max_latency, 308);
+        assert!((s.min_bandwidth.unwrap() - 24.3).abs() < 0.1);
+        // Power lines match Fig. 7 (66.7 + 43.4 = 110.1 W etc.).
+        let no_dram = s.pow_no_dram.as_ref().unwrap();
+        assert!((no_dram[0] - 66.7).abs() < 0.2, "{no_dram:?}");
+        assert!((no_dram[1] - 43.4).abs() < 0.2);
+        let with = s.pow_with_dram.as_ref().unwrap();
+        assert!((with.iter().sum::<f64>() - 200.6).abs() < 1.0);
+        let text = p.print();
+        assert!(text.contains("MCTOP_PLACE_CON_HWC"));
+        assert!(text.contains("# # Cores         : 15"));
+        assert!(text.contains("308 cycles"));
+    }
+
+    #[test]
+    fn con_core_uses_unique_cores_first() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::ConCore, PlaceOpts::threads(20)).unwrap();
+        // 20 threads on 20 distinct cores (both sockets), no SMT
+        // doubling.
+        let mut cores: Vec<usize> = p.order().iter().map(|&h| t.hwcs[h].core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 20);
+    }
+
+    #[test]
+    fn con_core_hwc_fills_socket_before_next() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::ConCoreHwc, PlaceOpts::threads(25)).unwrap();
+        // First 20 contexts on one socket (10 unique cores then their
+        // siblings), then 5 on the next.
+        let first_socket = t.socket_of(p.order()[0]);
+        assert!(p.order()[..20]
+            .iter()
+            .all(|&h| t.socket_of(h) == first_socket));
+        assert!(p.order()[20..]
+            .iter()
+            .all(|&h| t.socket_of(h) != first_socket));
+        // Within the first 10: unique cores.
+        let mut cores: Vec<usize> = p.order()[..10].iter().map(|&h| t.hwcs[h].core).collect();
+        cores.dedup();
+        assert_eq!(cores.len(), 10);
+    }
+
+    #[test]
+    fn balance_spreads_evenly() {
+        let t = topo(&mcsim::presets::ivy());
+        for policy in [
+            Policy::BalanceHwc,
+            Policy::BalanceCoreHwc,
+            Policy::BalanceCore,
+        ] {
+            let p = Placement::new(&t, policy, PlaceOpts::threads(10)).unwrap();
+            let s = p.stats();
+            assert_eq!(s.hwc_per_socket, vec![5, 5], "{policy}");
+        }
+    }
+
+    #[test]
+    fn rr_alternates_sockets() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::RrCore, PlaceOpts::threads(6)).unwrap();
+        let sockets: Vec<usize> = p.order().iter().map(|&h| t.socket_of(h)).collect();
+        assert_eq!(sockets[0], sockets[2]);
+        assert_eq!(sockets[1], sockets[3]);
+        assert_ne!(sockets[0], sockets[1]);
+        // RR_CORE uses unique cores for the first #cores threads.
+        let p_full = Placement::new(&t, Policy::RrCore, PlaceOpts::threads(20)).unwrap();
+        let mut cores: Vec<usize> = p_full.order().iter().map(|&h| t.hwcs[h].core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 20);
+    }
+
+    #[test]
+    fn rr_hwc_hands_out_smt_siblings_together() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::RrHwc, PlaceOpts::threads(4)).unwrap();
+        // Compact per-socket order: first two contexts from a socket
+        // share a core... but round-robin interleaves sockets, so slots
+        // 0 and 2 share a core.
+        let o = p.order();
+        assert_eq!(t.hwcs[o[0]].core, t.hwcs[o[2]].core);
+        assert_ne!(t.socket_of(o[0]), t.socket_of(o[1]));
+    }
+
+    #[test]
+    fn power_policy_packs_smt_and_one_socket() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::Power, PlaceOpts::threads(20)).unwrap();
+        // Minimal power: use both contexts of each core and stay on one
+        // socket (waking a second socket costs DRAM power).
+        let s = p.stats();
+        assert_eq!(s.sockets.len(), 1);
+        assert_eq!(s.n_cores, 10);
+        // The very first two threads share a core.
+        assert_eq!(t.hwcs[p.order()[0]].core, t.hwcs[p.order()[1]].core);
+    }
+
+    #[test]
+    fn power_policy_requires_measurements() {
+        let spec = mcsim::presets::opteron();
+        let mut pr = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let t = mctop::infer(&mut pr, &cfg).unwrap(); // Not enriched.
+        let err = Placement::new(&t, Policy::Power, PlaceOpts::default()).unwrap_err();
+        assert_eq!(err, PlaceError::PowerUnavailable);
+    }
+
+    #[test]
+    fn rr_scale_caps_threads_at_saturation() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::RrScale, PlaceOpts::default()).unwrap();
+        // Ivy: 24.3 GB/s local, 6.1 GB/s per core -> 4 threads per
+        // socket.
+        let s = p.stats();
+        assert_eq!(s.hwc_per_socket, vec![4, 4]);
+    }
+
+    #[test]
+    fn non_smt_con_policies_coincide() {
+        // Section 6: "In non-SMT multi-cores, CON_HWC, CON_CORE_HWC, and
+        // CON_CORE policies are equivalent."
+        let t = topo(&mcsim::presets::no_smt_small());
+        let a = Placement::new(&t, Policy::ConHwc, PlaceOpts::default()).unwrap();
+        let b = Placement::new(&t, Policy::ConCoreHwc, PlaceOpts::default()).unwrap();
+        let c = Placement::new(&t, Policy::ConCore, PlaceOpts::default()).unwrap();
+        assert_eq!(a.order(), b.order());
+        assert_eq!(b.order(), c.order());
+    }
+
+    #[test]
+    fn too_many_threads_rejected() {
+        let t = topo(&mcsim::presets::synthetic_small());
+        let err = Placement::new(&t, Policy::ConHwc, PlaceOpts::threads(1000)).unwrap_err();
+        assert!(matches!(
+            err,
+            PlaceError::TooManyThreads { available: 16, .. }
+        ));
+    }
+
+    #[test]
+    fn socket_restriction() {
+        let t = topo(&mcsim::presets::ivy());
+        let p = Placement::new(&t, Policy::RrCore, PlaceOpts::threads_on_sockets(10, 1)).unwrap();
+        assert_eq!(p.stats().sockets.len(), 1);
+    }
+
+    #[test]
+    fn pin_unpin_cycle() {
+        let t = topo(&mcsim::presets::synthetic_small());
+        let p = Placement::new(&t, Policy::ConHwc, PlaceOpts::threads(2)).unwrap();
+        let h1 = p.pin().unwrap();
+        let h2 = p.pin().unwrap();
+        assert!(p.pin().is_none());
+        assert_ne!(h1.hwc, h2.hwc);
+        p.unpin(h1);
+        let h3 = p.pin().unwrap();
+        assert_eq!(h3.hwc, h1.hwc);
+        assert_eq!(h3.local_node, t.get_local_node(h3.hwc));
+    }
+
+    #[test]
+    fn sequential_is_os_order() {
+        let t = topo(&mcsim::presets::synthetic_small());
+        let p = Placement::new(&t, Policy::Sequential, PlaceOpts::threads(5)).unwrap();
+        assert_eq!(p.order(), &[0, 1, 2, 3, 4]);
+        assert!(p.pins());
+        let none = Placement::new(&t, Policy::None, PlaceOpts::threads(5)).unwrap();
+        assert!(!none.pins());
+    }
+}

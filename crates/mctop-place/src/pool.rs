@@ -1,0 +1,143 @@
+//! The MCTOP-PLACE pool (Section 6): precomputed placements for several
+//! policies with runtime selection, so software can switch placement
+//! policies between execution phases (the extended-OpenMP example of
+//! Section 7.4 is built on this).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mctop::Mctop;
+use parking_lot::RwLock;
+
+use crate::place::{
+    PlaceError,
+    PlaceOpts,
+    Placement, //
+};
+use crate::policy::Policy;
+
+/// A pool of placements over one topology, keyed by policy.
+///
+/// Placements are built lazily and cached; [`PlacePool::select`] makes a
+/// policy current, and [`PlacePool::current`] hands the active placement
+/// to workers.
+pub struct PlacePool {
+    topo: Arc<Mctop>,
+    opts: PlaceOpts,
+    cache: RwLock<BTreeMap<Policy, Arc<Placement>>>,
+    current: RwLock<Policy>,
+}
+
+impl PlacePool {
+    /// A pool over `topo` with shared placement options.
+    pub fn new(topo: Arc<Mctop>, opts: PlaceOpts) -> Self {
+        PlacePool {
+            topo,
+            opts,
+            cache: RwLock::new(BTreeMap::new()),
+            current: RwLock::new(Policy::None),
+        }
+    }
+
+    /// The topology the pool was built over.
+    pub fn topology(&self) -> &Arc<Mctop> {
+        &self.topo
+    }
+
+    /// Returns the placement for a policy, building it on first use.
+    pub fn get(&self, policy: Policy) -> Result<Arc<Placement>, PlaceError> {
+        if let Some(p) = self.cache.read().get(&policy) {
+            return Ok(Arc::clone(p));
+        }
+        let built = Arc::new(Placement::new(&self.topo, policy, self.opts)?);
+        let mut w = self.cache.write();
+        Ok(Arc::clone(w.entry(policy).or_insert(built)))
+    }
+
+    /// Makes `policy` the current one (runtime policy switching).
+    pub fn select(&self, policy: Policy) -> Result<Arc<Placement>, PlaceError> {
+        let p = self.get(policy)?;
+        *self.current.write() = policy;
+        Ok(p)
+    }
+
+    /// The currently selected policy.
+    pub fn current_policy(&self) -> Policy {
+        *self.current.read()
+    }
+
+    /// The placement of the currently selected policy.
+    pub fn current(&self) -> Result<Arc<Placement>, PlaceError> {
+        self.get(self.current_policy())
+    }
+
+    /// Policies already materialized in the pool.
+    pub fn cached_policies(&self) -> Vec<Policy> {
+        self.cache.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop::backend::SimProber;
+    use mctop::ProbeConfig;
+
+    fn topo() -> Arc<Mctop> {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        Arc::new(mctop::infer(&mut p, &cfg).unwrap())
+    }
+
+    #[test]
+    fn lazily_builds_and_caches() {
+        let pool = PlacePool::new(topo(), PlaceOpts::threads(8));
+        assert!(pool.cached_policies().is_empty());
+        let a = pool.get(Policy::ConHwc).unwrap();
+        let b = pool.get(Policy::ConHwc).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.cached_policies(), vec![Policy::ConHwc]);
+    }
+
+    #[test]
+    fn select_switches_current() {
+        let pool = PlacePool::new(topo(), PlaceOpts::threads(4));
+        assert_eq!(pool.current_policy(), Policy::None);
+        pool.select(Policy::RrCore).unwrap();
+        assert_eq!(pool.current_policy(), Policy::RrCore);
+        assert_eq!(pool.current().unwrap().policy(), Policy::RrCore);
+        pool.select(Policy::BalanceHwc).unwrap();
+        assert_eq!(pool.current_policy(), Policy::BalanceHwc);
+    }
+
+    #[test]
+    fn failing_policy_does_not_switch() {
+        let pool = PlacePool::new(topo(), PlaceOpts::threads(4));
+        pool.select(Policy::Sequential).unwrap();
+        // POWER fails on an unenriched topology.
+        assert!(pool.select(Policy::Power).is_err());
+        assert_eq!(pool.current_policy(), Policy::Sequential);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = Arc::new(PlacePool::new(topo(), PlaceOpts::threads(8)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let p = pool.get(Policy::ConHwc).unwrap();
+                    let pin = p.pin().unwrap();
+                    p.unpin(pin);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! A sense-reversing spin barrier.
+//!
+//! The paper's measurement harness keeps "even the thread barriers of
+//! libmctop spin-based" so cores never leave their maximum DVFS state
+//! (Section 3.5). This is that barrier.
+
+use std::sync::atomic::{
+    AtomicBool,
+    AtomicUsize,
+    Ordering, //
+};
+
+/// A reusable spin barrier for a fixed number of participants.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use mctop_runtime::SpinBarrier;
+///
+/// let b = Arc::new(SpinBarrier::new(2));
+/// let b2 = Arc::clone(&b);
+/// let t = std::thread::spawn(move || {
+///     b2.wait();
+/// });
+/// b.wait();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// A barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Blocks (spinning) until all `n` participants arrive. Reusable:
+    /// the sense flips each round.
+    pub fn wait(&self) {
+        let sense = self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            // Last arrival resets the count and releases the round.
+            self.count.store(0, Ordering::Release);
+            self.sense.store(!sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) == sense {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn rounds_are_totally_ordered() {
+        // Each thread increments a phase counter between barriers; after
+        // each barrier every thread must observe the same phase.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let phase = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    for r in 0..ROUNDS as u64 {
+                        if i == 0 {
+                            phase.store(r, Ordering::Release);
+                        }
+                        barrier.wait();
+                        assert_eq!(phase.load(Ordering::Acquire), r);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = SpinBarrier::new(0);
+    }
+}

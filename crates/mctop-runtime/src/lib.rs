@@ -1,0 +1,29 @@
+//! # mctop-runtime — placement-aware parallel runtime substrate
+//!
+//! The application studies of the MCTOP paper (mergesort, MapReduce,
+//! the extended OpenMP runtime) all need the same three building
+//! blocks, provided here:
+//!
+//! - [`pool::WorkerPool`]: a fork-join pool whose workers are assigned
+//!   hardware contexts by an [`mctop_place::Placement`] (and optionally
+//!   pinned to the real OS CPUs when the context ids exist on the host);
+//! - [`barrier::SpinBarrier`]: the spin-based barrier the paper's
+//!   measurement threads use (no blocking, keeps DVFS at max);
+//! - [`steal`]: topology-aware work stealing (Section 5): idle workers
+//!   steal from the victim that is closest in communication latency
+//!   first.
+
+pub mod barrier;
+pub mod pool;
+pub mod steal;
+
+pub use barrier::SpinBarrier;
+pub use pool::{
+    WorkerCtx,
+    WorkerPool, //
+};
+pub use steal::{
+    steal_queues,
+    StealOrder,
+    StealPool, //
+};

@@ -1,0 +1,230 @@
+//! A fork-join worker pool driven by an MCTOP placement.
+//!
+//! Each worker owns one placement slot: it knows its hardware context,
+//! socket, core, and local node (the information Fig. 7's pinned
+//! threads "have access to"), and — when the context id exists on the
+//! host and the placement policy pins — the worker thread is bound to
+//! that CPU with `sched_setaffinity`.
+
+use std::sync::Arc;
+
+use mctop_place::{
+    pin_os_thread,
+    PinHandle,
+    Placement, //
+};
+
+/// What a worker knows about itself inside [`WorkerPool::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerCtx {
+    /// Worker index (0-based, dense).
+    pub id: usize,
+    /// Total workers in this pool.
+    pub n_workers: usize,
+    /// The placement slot this worker occupies.
+    pub pin: PinHandle,
+}
+
+impl WorkerCtx {
+    /// The worker's hardware context OS id.
+    pub fn hwc(&self) -> usize {
+        self.pin.hwc
+    }
+
+    /// The worker's socket.
+    pub fn socket(&self) -> usize {
+        self.pin.socket
+    }
+}
+
+/// A placement-backed fork-join pool.
+///
+/// `run` spawns one scoped thread per placement slot, each virtually
+/// pinned to its hardware context (and OS-pinned when possible), and
+/// returns all results in worker order. Spawning per call keeps the
+/// pool safe for borrowed closures; the workloads in this repository
+/// run long enough that spawn cost is noise.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    placement: Arc<Placement>,
+    n_workers: usize,
+    os_pin: bool,
+}
+
+impl WorkerPool {
+    /// A pool with one worker per placement slot.
+    pub fn new(placement: Arc<Placement>) -> Self {
+        let n = placement.capacity();
+        WorkerPool {
+            placement,
+            n_workers: n,
+            os_pin: true,
+        }
+    }
+
+    /// A pool with the first `n` slots of the placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the placement capacity or is zero.
+    pub fn with_workers(placement: Arc<Placement>, n: usize) -> Self {
+        assert!(
+            n > 0 && n <= placement.capacity(),
+            "worker count out of range"
+        );
+        WorkerPool {
+            placement,
+            n_workers: n,
+            os_pin: true,
+        }
+    }
+
+    /// Disables OS-level pinning (virtual placement only). Useful when
+    /// the simulated machine has more contexts than the host.
+    pub fn without_os_pinning(mut self) -> Self {
+        self.os_pin = false;
+        self
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Whether the pool has no workers (never true; kept for idiom).
+    pub fn is_empty(&self) -> bool {
+        self.n_workers == 0
+    }
+
+    /// The placement backing this pool.
+    pub fn placement(&self) -> &Arc<Placement> {
+        &self.placement
+    }
+
+    /// Runs `f` on every worker and collects the results in worker
+    /// order. The closure may borrow from the caller's stack.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(WorkerCtx) -> R + Sync,
+        R: Send,
+    {
+        let handles: Vec<PinHandle> = (0..self.n_workers)
+            .map(|_| {
+                self.placement
+                    .pin()
+                    .expect("pool sized to placement capacity")
+            })
+            .collect();
+        let n = self.n_workers;
+        let os_pin = self.os_pin && self.placement.pins();
+        let host_cpus = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let mut join = Vec::with_capacity(n);
+            for (id, (pin, slot)) in handles.iter().zip(results.iter_mut()).enumerate() {
+                let f = &f;
+                let pin = *pin;
+                join.push(scope.spawn(move || {
+                    // OS pinning is best-effort: simulated machines can
+                    // have more contexts than the host has CPUs.
+                    if os_pin && pin.hwc < host_cpus {
+                        let _ = pin_os_thread(pin.hwc);
+                    }
+                    *slot = Some(f(WorkerCtx {
+                        id,
+                        n_workers: n,
+                        pin,
+                    }));
+                }));
+            }
+            for j in join {
+                j.join().expect("worker panicked");
+            }
+        });
+        for pin in handles {
+            self.placement.unpin(pin);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("worker wrote its slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop_place::{
+        PlaceOpts,
+        Policy, //
+    };
+
+    fn placement(threads: usize, policy: Policy) -> Arc<Placement> {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        let topo = mctop::infer(&mut p, &cfg).unwrap();
+        Arc::new(Placement::new(&topo, policy, PlaceOpts::threads(threads)).unwrap())
+    }
+
+    #[test]
+    fn run_returns_results_in_worker_order() {
+        let pool = WorkerPool::new(placement(4, Policy::ConHwc)).without_os_pinning();
+        let out = pool.run(|ctx| ctx.id * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn workers_see_their_placement_slots() {
+        let p = placement(4, Policy::ConHwc);
+        let expected: Vec<usize> = p.order().to_vec();
+        let pool = WorkerPool::new(Arc::clone(&p)).without_os_pinning();
+        let hwcs = pool.run(|ctx| ctx.hwc());
+        // Workers collectively occupy exactly the placement order.
+        let mut sorted = hwcs.clone();
+        sorted.sort_unstable();
+        let mut exp_sorted = expected;
+        exp_sorted.sort_unstable();
+        assert_eq!(sorted, exp_sorted);
+    }
+
+    #[test]
+    fn pool_is_reusable_and_releases_slots() {
+        let p = placement(2, Policy::RrCore);
+        let pool = WorkerPool::new(Arc::clone(&p)).without_os_pinning();
+        for _ in 0..5 {
+            let out = pool.run(|ctx| ctx.n_workers);
+            assert_eq!(out, vec![2, 2]);
+        }
+        // All slots free afterwards.
+        let h = p.pin().unwrap();
+        p.unpin(h);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible() {
+        let pool = WorkerPool::new(placement(4, Policy::BalanceHwc)).without_os_pinning();
+        let data = vec![1u64, 2, 3, 4];
+        let sums = pool.run(|ctx| data[ctx.id]);
+        assert_eq!(sums.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn with_workers_subset() {
+        let pool = WorkerPool::with_workers(placement(4, Policy::ConHwc), 2).without_os_pinning();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.run(|c| c.id).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count out of range")]
+    fn oversized_pool_rejected() {
+        let _ = WorkerPool::with_workers(placement(2, Policy::ConHwc), 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Topology-aware work stealing (Section 5 of the paper).
+//!
+//! The policy: "If the local work queue is empty, steal from the queue
+//! of worker threads that are the closest in terms of latency. If
+//! unsuccessful, continue with the contexts that are the next closest."
+//! [`StealOrder`] computes those victim orders from MCTOP;
+//! [`steal_queues`] builds a deque-per-worker set of handles — each
+//! handle is moved into its worker thread — that follow them.
+
+use crossbeam_deque::{
+    Steal,
+    Stealer,
+    Worker as Deque, //
+};
+use mctop::Mctop;
+
+/// Per-worker victim orders derived from communication latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealOrder {
+    orders: Vec<Vec<usize>>,
+}
+
+impl StealOrder {
+    /// Computes victim orders for workers occupying the given hardware
+    /// contexts: for worker `i`, other workers sorted by
+    /// `latency(hwc_i, hwc_j)` ascending (ties toward lower worker id).
+    pub fn compute(topo: &Mctop, hwcs: &[usize]) -> Self {
+        let orders = hwcs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut victims: Vec<usize> = (0..hwcs.len()).filter(|&j| j != i).collect();
+                victims.sort_by_key(|&j| (topo.get_latency(a, hwcs[j]), j));
+                victims
+            })
+            .collect();
+        StealOrder { orders }
+    }
+
+    /// Victim order (worker indices) for worker `i`.
+    pub fn victims(&self, i: usize) -> &[usize] {
+        &self.orders[i]
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+}
+
+/// One worker's end of the work-stealing structure. Owned by (moved
+/// into) its worker thread; the stealers inside reference every other
+/// worker's queue.
+pub struct StealPool<T> {
+    id: usize,
+    local: Deque<T>,
+    stealers: Vec<Stealer<T>>,
+    victims: Vec<usize>,
+}
+
+/// Where a work item came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The worker's own queue.
+    Local,
+    /// Stolen from this worker's queue.
+    Stolen(usize),
+}
+
+impl<T> StealPool<T> {
+    /// This worker's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Pushes work onto the local queue.
+    pub fn push(&self, item: T) {
+        self.local.push(item);
+    }
+
+    /// Next work item: the local queue first, then the victims in
+    /// latency order.
+    pub fn next(&self) -> Option<(T, Source)> {
+        if let Some(item) = self.local.pop() {
+            return Some((item, Source::Local));
+        }
+        for &v in &self.victims {
+            loop {
+                match self.stealers[v].steal() {
+                    Steal::Success(item) => return Some((item, Source::Stolen(v))),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Builds one [`StealPool`] handle per worker, with victim orders from
+/// the topology.
+pub fn steal_queues<T>(topo: &Mctop, hwcs: &[usize]) -> Vec<StealPool<T>> {
+    let order = StealOrder::compute(topo, hwcs);
+    let deques: Vec<Deque<T>> = hwcs.iter().map(|_| Deque::new_fifo()).collect();
+    let stealers: Vec<Stealer<T>> = deques.iter().map(|d| d.stealer()).collect();
+    deques
+        .into_iter()
+        .enumerate()
+        .map(|(id, local)| StealPool {
+            id,
+            local,
+            stealers: stealers.clone(),
+            victims: order.victims(id).to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Mctop {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        mctop::infer(&mut p, &cfg).unwrap()
+    }
+
+    #[test]
+    fn victims_sorted_by_latency() {
+        let t = topo();
+        // Workers on: ctx 0 (socket 0 core 0), ctx 8 (SMT sibling of 0),
+        // ctx 1 (socket 0 core 1), ctx 4 (socket 1).
+        let order = StealOrder::compute(&t, &[0, 8, 1, 4]);
+        // Worker 0's closest victim is its SMT sibling, then the
+        // same-socket core, then the remote socket.
+        assert_eq!(order.victims(0), &[1, 2, 3]);
+        // Worker 3 (remote socket) sees all others at the same
+        // cross-socket latency: tie-break by worker id.
+        assert_eq!(order.victims(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn local_work_first_then_closest_victim() {
+        let t = topo();
+        let queues: Vec<StealPool<u32>> = steal_queues(&t, &[0, 8, 4]);
+        queues[0].push(1);
+        queues[1].push(2);
+        queues[2].push(3);
+        // Worker 0 takes its own item first.
+        assert_eq!(queues[0].next(), Some((1, Source::Local)));
+        // Then steals from its SMT sibling (worker 1), not the remote
+        // socket (worker 2).
+        assert_eq!(queues[0].next(), Some((2, Source::Stolen(1))));
+        assert_eq!(queues[0].next(), Some((3, Source::Stolen(2))));
+        assert_eq!(queues[0].next(), None);
+    }
+
+    #[test]
+    fn all_items_consumed_exactly_once_concurrently() {
+        let t = topo();
+        let workers = vec![0usize, 8, 1, 9, 4, 12];
+        let mut queues: Vec<StealPool<usize>> = steal_queues(&t, &workers);
+        const ITEMS: usize = 3000;
+        // All work starts on worker 0: everyone else must steal.
+        for i in 0..ITEMS {
+            queues[0].push(i);
+        }
+        let seen = std::sync::Mutex::new(vec![0u8; ITEMS]);
+        std::thread::scope(|s| {
+            for q in queues.drain(..) {
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some((item, _)) = q.next() {
+                        seen.lock().unwrap()[item] += 1;
+                    }
+                });
+            }
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn steal_sources_reported() {
+        let t = topo();
+        let queues: Vec<StealPool<u8>> = steal_queues(&t, &[0, 1]);
+        queues[1].push(7);
+        let (v, src) = queues[0].next().unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(src, Source::Stolen(1));
+    }
+}

@@ -1,0 +1,37 @@
+//! # mctop-sort — topology-aware parallel mergesort
+//!
+//! Reproduction of `mctop_sort` (Section 7.2 of the MCTOP paper). The
+//! algorithm takes the same first step as `__gnu_parallel::sort`
+//! (parallel quicksort of per-thread chunks) but merges the sorted runs
+//! along a *cross-socket reduction tree* built from the topology
+//! (Section 5): within sockets, all threads of a socket cooperate on the
+//! same merges; across sockets, a binary tree pairs sockets to maximize
+//! the bandwidth to data, rooted at the socket that needs the final
+//! result.
+//!
+//! Modules:
+//! - [`seq`]: the sequential quicksort used for the first phase;
+//! - [`merge`]: scalar merging plus merge-path splitting for
+//!   cooperative (multi-thread) merges;
+//! - [`bitonic`]: a 4-wide bitonic merge network — the stand-in for the
+//!   SSE kernel of `mctop_sort_sse` (written over fixed-size arrays so
+//!   the compiler can vectorize it);
+//! - [`tree`]: the bandwidth-maximizing cross-socket merge tree;
+//! - [`parallel`]: `mctop_sort`, `mctop_sort_sse`, and the
+//!   topology-agnostic `gnu_parallel`-like baseline — all real,
+//!   multi-threaded, runnable on the host;
+//! - [`model`]: the Fig. 9 cost model that regenerates the paper's
+//!   per-platform time breakdowns over the simulated machines.
+
+pub mod bitonic;
+pub mod merge;
+pub mod model;
+pub mod parallel;
+pub mod seq;
+pub mod tree;
+
+pub use parallel::{
+    baseline_sort,
+    mctop_sort,
+    mctop_sort_sse, //
+};

@@ -1,0 +1,190 @@
+//! Merging: scalar two-way merge, the merge-path split that lets `k`
+//! threads merge one pair of runs cooperatively, and the cooperative
+//! parallel merge itself.
+
+/// Merges two sorted slices into `out` (must have the exact combined
+/// length).
+pub fn merge_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(out.len(), a.len() + b.len(), "output size mismatch");
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x <= y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("output exactly fits"),
+        };
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Co-ranks for the merge path: returns `(i, j)` with `i + j == d` such
+/// that merging `a[..i]` and `b[..j]` produces exactly the first `d`
+/// output elements.
+pub fn co_rank<T: Ord + Copy>(d: usize, a: &[T], b: &[T]) -> (usize, usize) {
+    assert!(d <= a.len() + b.len());
+    let mut lo = d.saturating_sub(b.len());
+    let mut hi = d.min(a.len());
+    loop {
+        let i = lo + (hi - lo) / 2;
+        let j = d - i;
+        if i < a.len() && j > 0 && b[j - 1] > a[i] {
+            // Too few elements taken from a.
+            lo = i + 1;
+        } else if i > 0 && j < b.len() && a[i - 1] > b[j] {
+            // Too many elements taken from a.
+            hi = i - 1;
+        } else {
+            return (i, j);
+        }
+        debug_assert!(lo <= hi, "co_rank invariant violated");
+    }
+}
+
+/// Splits the merge of `a` and `b` into `k` balanced independent
+/// segments `(a_range, b_range, out_offset)`.
+pub fn split_merge<T: Ord + Copy>(
+    a: &[T],
+    b: &[T],
+    k: usize,
+) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>, usize)> {
+    assert!(k >= 1);
+    let total = a.len() + b.len();
+    let mut cuts = Vec::with_capacity(k + 1);
+    for s in 0..=k {
+        let d = total * s / k;
+        cuts.push((d, co_rank(d, a, b)));
+    }
+    cuts.windows(2)
+        .map(|w| {
+            let (d0, (i0, j0)) = w[0];
+            let (_, (i1, j1)) = w[1];
+            (i0..i1, j0..j1, d0)
+        })
+        .collect()
+}
+
+/// Merges two sorted runs into `out` using `k` real threads, each
+/// merging an independent merge-path segment.
+pub fn parallel_merge<T: Ord + Copy + Send + Sync>(a: &[T], b: &[T], out: &mut [T], k: usize) {
+    assert_eq!(out.len(), a.len() + b.len());
+    if k <= 1 || out.len() < 4096 {
+        merge_into(a, b, out);
+        return;
+    }
+    let segments = split_merge(a, b, k);
+    // Carve `out` into disjoint mutable windows matching the segments.
+    let mut rest = out;
+    let mut taken = 0usize;
+    std::thread::scope(|scope| {
+        for (ra, rb, off) in segments {
+            let len = (ra.end - ra.start) + (rb.end - rb.start);
+            let (window, tail) = rest.split_at_mut(off - taken + len);
+            let window = &mut window[off - taken..];
+            taken = off + len;
+            rest = tail;
+            let sa = &a[ra];
+            let sb = &b[rb];
+            scope.spawn(move || merge_into(sa, sb, window));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{
+        Rng,
+        SeedableRng, //
+    };
+
+    fn sorted(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn merge_into_basic() {
+        let a = vec![1, 3, 5];
+        let b = vec![2, 4, 6, 7];
+        let mut out = vec![0; 7];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let a: Vec<u32> = vec![];
+        let b = vec![1, 2];
+        let mut out = vec![0; 2];
+        merge_into(&a, &b, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        let mut out2 = vec![0; 2];
+        merge_into(&b, &a, &mut out2);
+        assert_eq!(out2, vec![1, 2]);
+    }
+
+    #[test]
+    fn co_rank_prefixes_are_consistent() {
+        let a = sorted(500, 1);
+        let b = sorted(700, 2);
+        for d in [0usize, 1, 250, 600, 1199, 1200] {
+            let (i, j) = co_rank(d, &a, &b);
+            assert_eq!(i + j, d);
+            // Every element in the prefix <= every element after it.
+            let prefix_max = a[..i].iter().chain(b[..j].iter()).max().copied();
+            let suffix_min = a[i..].iter().chain(b[j..].iter()).min().copied();
+            if let (Some(pm), Some(sm)) = (prefix_max, suffix_min) {
+                assert!(pm <= sm, "d={d}: prefix max {pm} > suffix min {sm}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_merge_segments_cover_everything() {
+        let a = sorted(1000, 3);
+        let b = sorted(900, 4);
+        let segs = split_merge(&a, &b, 7);
+        assert_eq!(segs.len(), 7);
+        assert_eq!(segs[0].0.start, 0);
+        assert_eq!(segs[0].1.start, 0);
+        assert_eq!(segs.last().unwrap().0.end, a.len());
+        assert_eq!(segs.last().unwrap().1.end, b.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].0.end, w[1].0.start);
+            assert_eq!(w[0].1.end, w[1].1.start);
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential() {
+        let a = sorted(30_000, 5);
+        let b = sorted(27_001, 6);
+        let mut expected = vec![0; a.len() + b.len()];
+        merge_into(&a, &b, &mut expected);
+        for k in [1usize, 2, 3, 4] {
+            let mut out = vec![0; a.len() + b.len()];
+            parallel_merge(&a, &b, &mut out, k);
+            assert_eq!(out, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_duplicate_heavy() {
+        let mut a = vec![5u32; 10_000];
+        a.extend(vec![9u32; 10_000]);
+        let b = vec![5u32; 15_000];
+        let mut out = vec![0; 35_000];
+        parallel_merge(&a, &b, &mut out, 4);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

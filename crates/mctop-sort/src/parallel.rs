@@ -1,0 +1,334 @@
+//! The parallel sorting algorithms: `mctop_sort`, `mctop_sort_sse`,
+//! and the topology-agnostic baseline (the shape of
+//! `__gnu_parallel::sort`). All three run on real host threads; the
+//! per-platform performance claims of Fig. 9 come from
+//! [`crate::model`] over the simulated machines.
+
+use mctop::Mctop;
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+
+use crate::merge::{
+    merge_into,
+    parallel_merge, //
+};
+use crate::seq::quicksort;
+use crate::tree::MergeTree;
+
+/// Which merge kernel the cross-socket phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Scalar,
+    Bitonic,
+}
+
+/// Sorts `data` with the topology-aware mergesort of Section 7.2:
+/// chunks are quicksorted in parallel (threads spread with the RR
+/// policy to benefit from every socket's LLC), per-socket runs are
+/// merged cooperatively inside each socket, and the per-socket runs are
+/// merged along the bandwidth-maximizing cross-socket tree, rooted at
+/// socket `dest`.
+pub fn mctop_sort(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize) {
+    sort_impl(data, topo, n_threads, dest, Kernel::Scalar);
+}
+
+/// `mctop_sort` with the bitonic (SIMD-style) merge kernel for the
+/// cross-socket merges.
+pub fn mctop_sort_sse(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize) {
+    sort_impl(data, topo, n_threads, dest, Kernel::Bitonic);
+}
+
+fn sort_impl(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize, kernel: Kernel) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let n_threads = n_threads.clamp(1, topo.num_hwcs());
+    // Spread threads across sockets (RR policy, as the paper does, "in
+    // order to benefit from the large LLCs of each socket").
+    let placement = Placement::new(topo, Policy::RrCore, PlaceOpts::threads(n_threads))
+        .expect("RR placement always succeeds");
+
+    // --- Phase 1: parallel chunk quicksort -----------------------------
+    let chunk = n.div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        for piece in data.chunks_mut(chunk) {
+            scope.spawn(|| quicksort(piece));
+        }
+    });
+
+    // --- Phase 2: per-socket cooperative merging ------------------------
+    // Assign each chunk to the socket of the worker that sorted it.
+    let order = placement.order();
+    let mut socket_runs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); topo.num_sockets()];
+    for (idx, piece) in data.chunks(chunk).enumerate() {
+        let socket = topo.socket_of(order[idx % order.len()]);
+        socket_runs[socket].push(piece.to_vec());
+    }
+    let threads_of_socket = |s: usize| -> usize {
+        order
+            .iter()
+            .filter(|&&h| topo.socket_of(h) == s)
+            .count()
+            .max(1)
+    };
+    // Merge within each socket (all its threads cooperate) until one
+    // run per socket; sockets merge concurrently.
+    let mut per_socket: Vec<(usize, Vec<u32>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (s, runs) in socket_runs.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let k = threads_of_socket(s);
+            handles.push((s, scope.spawn(move || reduce_runs(runs, k))));
+        }
+        for (s, h) in handles {
+            per_socket.push((s, h.join().expect("socket merge panicked")));
+        }
+    });
+    per_socket.sort_by_key(|&(s, _)| s);
+
+    // --- Phase 3: cross-socket tree merge --------------------------------
+    let sockets: Vec<usize> = per_socket.iter().map(|&(s, _)| s).collect();
+    let dest = if sockets.contains(&dest) {
+        dest
+    } else {
+        sockets[0]
+    };
+    let tree = MergeTree::build(topo, &sockets, dest);
+    let mut run_of: std::collections::BTreeMap<usize, Vec<u32>> = per_socket.into_iter().collect();
+    for level in &tree.levels {
+        // Steps in a level are independent; run them in parallel.
+        let mut inputs = Vec::new();
+        for step in level {
+            let a = run_of.remove(&step.dst).expect("dst run exists");
+            let b = run_of.remove(&step.src).expect("src run exists");
+            // Threads of both participating sockets cooperate.
+            let k = threads_of_socket(step.dst) + threads_of_socket(step.src);
+            inputs.push((step.dst, a, b, k));
+        }
+        let merged: Vec<(usize, Vec<u32>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .map(|(dst, a, b, k)| {
+                    scope.spawn(move || {
+                        let mut out = vec![0u32; a.len() + b.len()];
+                        match kernel {
+                            Kernel::Scalar => parallel_merge(&a, &b, &mut out, k),
+                            Kernel::Bitonic => bitonic_cooperative(&a, &b, &mut out, k),
+                        }
+                        (dst, out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge panicked"))
+                .collect()
+        });
+        for (dst, run) in merged {
+            run_of.insert(dst, run);
+        }
+    }
+    let final_run = run_of.remove(&dest).expect("root run");
+    debug_assert_eq!(final_run.len(), n);
+    *data = final_run;
+}
+
+/// Pairwise-reduces runs to one, using `k` cooperating threads per
+/// merge.
+fn reduce_runs(mut runs: Vec<Vec<u32>>, k: usize) -> Vec<u32> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        let mut pairs = Vec::new();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => pairs.push((a, b)),
+                None => next.push(a),
+            }
+        }
+        let threads_per_pair = (k / pairs.len().max(1)).max(1);
+        let merged: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    scope.spawn(move || {
+                        let mut out = vec![0u32; a.len() + b.len()];
+                        parallel_merge(&a, &b, &mut out, threads_per_pair);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge panicked"))
+                .collect()
+        });
+        next.extend(merged);
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// SSE-style cooperative merge: the first context of each core uses the
+/// bitonic kernel and is given three times more data than the scalar
+/// threads (Section 7.2). Here: split the merge into `k` merge-path
+/// segments with a 3:1 weight for the bitonic half.
+fn bitonic_cooperative(a: &[u32], b: &[u32], out: &mut [u32], k: usize) {
+    if k <= 1 || out.len() < 4096 {
+        crate::bitonic::merge_bitonic(a, b, out);
+        return;
+    }
+    // Half the workers use the bitonic kernel with weight 3.
+    let simd_workers = k.div_ceil(2);
+    let scalar_workers = k - simd_workers;
+    let total_weight = simd_workers * 3 + scalar_workers;
+    let total = a.len() + b.len();
+    let mut boundaries = vec![0usize];
+    let mut acc = 0usize;
+    for w in 0..k {
+        acc += if w < simd_workers { 3 } else { 1 };
+        boundaries.push(total * acc / total_weight);
+    }
+    let cuts: Vec<(usize, usize)> = boundaries
+        .iter()
+        .map(|&d| crate::merge::co_rank(d, a, b))
+        .collect();
+    let out_len = out.len();
+    let mut rest = out;
+    let mut taken = 0usize;
+    std::thread::scope(|scope| {
+        for w in 0..k {
+            let (i0, j0) = cuts[w];
+            let (i1, j1) = cuts[w + 1];
+            let len = (i1 - i0) + (j1 - j0);
+            let (window, tail) = rest.split_at_mut(len);
+            taken += len;
+            rest = tail;
+            let sa = &a[i0..i1];
+            let sb = &b[j0..j1];
+            let simd = w < simd_workers;
+            scope.spawn(move || {
+                if simd {
+                    crate::bitonic::merge_bitonic(sa, sb, window);
+                } else {
+                    merge_into(sa, sb, window);
+                }
+            });
+        }
+    });
+    debug_assert_eq!(taken, out_len);
+    let _ = taken;
+}
+
+/// The topology-agnostic baseline, shaped like `__gnu_parallel::sort`:
+/// parallel chunk quicksort, then iterative pairwise parallel merging —
+/// no placement, no NUMA awareness.
+pub fn baseline_sort(data: &mut Vec<u32>, n_threads: usize) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let n_threads = n_threads.max(1);
+    let chunk = n.div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        for piece in data.chunks_mut(chunk) {
+            scope.spawn(|| quicksort(piece));
+        }
+    });
+    let runs: Vec<Vec<u32>> = data.chunks(chunk).map(|c| c.to_vec()).collect();
+    *data = reduce_runs(runs, n_threads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{
+        Rng,
+        SeedableRng, //
+    };
+
+    fn topo() -> Mctop {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        let mut t = mctop::infer(&mut p, &cfg).unwrap();
+        let mut e = mctop::enrich::SimEnricher::new(&spec);
+        let mut pw = mctop::enrich::SimEnricher::new(&spec);
+        mctop::enrich::enrich_all(&mut t, &mut e, &mut pw).unwrap();
+        t
+    }
+
+    fn random(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn checksum(v: &[u32]) -> u64 {
+        v.iter().map(|&x| u64::from(x)).sum()
+    }
+
+    #[test]
+    fn mctop_sort_sorts() {
+        let t = topo();
+        for n in [0usize, 1, 100, 100_000, 262_144] {
+            let mut v = random(n, 42);
+            let sum = checksum(&v);
+            mctop_sort(&mut v, &t, 8, 0);
+            assert_eq!(v.len(), n);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n}");
+            assert_eq!(checksum(&v), sum, "n={n}: elements lost");
+        }
+    }
+
+    #[test]
+    fn mctop_sort_sse_sorts() {
+        let t = topo();
+        let mut v = random(200_000, 7);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        mctop_sort_sse(&mut v, &t, 8, 0);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn baseline_sorts() {
+        for threads in [1usize, 2, 4, 7] {
+            let mut v = random(150_000, threads as u64);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            baseline_sort(&mut v, threads);
+            assert_eq!(v, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn different_destinations_work() {
+        let t = topo();
+        for dest in 0..t.num_sockets() {
+            let mut v = random(50_000, dest as u64);
+            mctop_sort(&mut v, &t, 6, dest);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn single_thread_degenerate() {
+        let t = topo();
+        let mut v = random(10_000, 3);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        mctop_sort(&mut v, &t, 1, 0);
+        assert_eq!(v, expected);
+    }
+}

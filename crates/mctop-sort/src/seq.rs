@@ -1,0 +1,110 @@
+//! Sequential quicksort: the per-chunk sort of phase one (both
+//! `mctop_sort` and the baseline use the same sequential kernel, as in
+//! the paper where "the sequential part is the same on both
+//! algorithms").
+
+/// Insertion-sort cutoff.
+const CUTOFF: usize = 24;
+
+/// Sorts a slice in place with median-of-three quicksort.
+pub fn quicksort<T: Ord + Copy>(a: &mut [T]) {
+    if a.len() <= CUTOFF {
+        insertion_sort(a);
+        return;
+    }
+    let p = partition(a);
+    let (lo, hi) = a.split_at_mut(p);
+    quicksort(lo);
+    quicksort(&mut hi[1..]);
+}
+
+fn insertion_sort<T: Ord + Copy>(a: &mut [T]) {
+    for i in 1..a.len() {
+        let v = a[i];
+        let mut j = i;
+        while j > 0 && a[j - 1] > v {
+            a[j] = a[j - 1];
+            j -= 1;
+        }
+        a[j] = v;
+    }
+}
+
+/// Median-of-three partition; returns the pivot's final index.
+fn partition<T: Ord + Copy>(a: &mut [T]) -> usize {
+    let n = a.len();
+    let mid = n / 2;
+    // Order a[0], a[mid], a[n-1]; use the median as pivot at n-1.
+    if a[mid] < a[0] {
+        a.swap(mid, 0);
+    }
+    if a[n - 1] < a[0] {
+        a.swap(n - 1, 0);
+    }
+    if a[n - 1] < a[mid] {
+        a.swap(n - 1, mid);
+    }
+    a.swap(mid, n - 1);
+    let pivot = a[n - 1];
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if a[i] < pivot {
+            a.swap(i, store);
+            store += 1;
+        }
+    }
+    a.swap(store, n - 1);
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{
+        Rng,
+        SeedableRng, //
+    };
+
+    #[test]
+    fn sorts_random_input() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..10_000).map(|_| rng.gen()).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        // Already sorted, reverse sorted, all equal, tiny.
+        let mut a: Vec<u32> = (0..2000).collect();
+        quicksort(&mut a);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+
+        let mut b: Vec<u32> = (0..2000).rev().collect();
+        quicksort(&mut b);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+
+        let mut c = vec![7u32; 1000];
+        quicksort(&mut c);
+        assert!(c.iter().all(|&x| x == 7));
+
+        let mut d: Vec<u32> = vec![];
+        quicksort(&mut d);
+        let mut e = vec![3u32];
+        quicksort(&mut e);
+        assert_eq!(e, vec![3]);
+    }
+
+    #[test]
+    fn sorts_duplicates_heavy() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut v: Vec<u8> = (0..50_000).map(|_| rng.gen_range(0..4)).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expected);
+    }
+}

@@ -1,0 +1,81 @@
+//! MCTOP-ALG (Section 3 of the paper): inferring the topology of a
+//! cache-coherent machine from context-to-context latency measurements.
+//!
+//! The four steps, mirrored by the submodules:
+//!
+//! 1. [`probe`] — collect an N x N latency table with lock-step
+//!    measurement pairs (Fig. 5), median-of-n repetitions, stdev
+//!    thresholds with retry escalation, DVFS warm-up, and rdtsc-cost
+//!    subtraction.
+//! 2. [`cluster`] — extract latency clusters from the CDF of the values
+//!    and normalize the table to cluster medians.
+//! 3. [`components`] — recursively group contexts into components per
+//!    latency level (classification + table reduction).
+//! 4. [`build`] — assign roles (SMT/core, group, socket, cross-socket),
+//!    infer the interconnect (direct links vs multi-hop), and assemble
+//!    the [`crate::model::Mctop`].
+//!
+//! [`validate`] implements the output-validation checks of Section 3.6.
+
+pub mod build;
+pub mod cluster;
+pub mod components;
+pub mod probe;
+pub mod table;
+pub mod validate;
+
+use crate::error::McTopError;
+use crate::model::Mctop;
+pub use probe::{
+    ProbeConfig,
+    Prober, //
+};
+
+/// Output of a full inference run: the topology plus the measurement
+/// statistics (used by the inference-cost accounting of Section 3.5).
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The inferred topology.
+    pub topology: Mctop,
+    /// Probe statistics of the collection phase.
+    pub stats: probe::ProbeStats,
+    /// The latency clusters found (step 2).
+    pub clusters: Vec<crate::model::LatTriplet>,
+    /// The raw (pre-normalization) latency table.
+    pub raw_table: table::LatencyTable,
+}
+
+/// Runs all four steps and returns the topology only.
+pub fn run<P: Prober>(prober: &mut P, cfg: &ProbeConfig) -> Result<Mctop, McTopError> {
+    run_full(prober, cfg).map(|inf| inf.topology)
+}
+
+/// Runs all four steps, keeping the intermediate artifacts (raw table,
+/// clusters, statistics). The Fig. 6 harness prints these stages.
+pub fn run_full<P: Prober>(prober: &mut P, cfg: &ProbeConfig) -> Result<Inference, McTopError> {
+    // Step 1: latency table.
+    let (raw, stats) = probe::collect(prober, cfg)?;
+    // Step 2: clusters + normalized table.
+    let clusters = cluster::cluster(&raw.upper_triangle(), &cfg.cluster)?;
+    let norm = cluster::normalize(&raw, &clusters);
+    // SMT detection (Section 3.5).
+    let smt = probe::detect_smt(prober, &norm);
+    // Step 3: components.
+    let hier = components::build(&norm, &clusters)?;
+    // Step 4: roles and assembly.
+    let topology = build::assemble(
+        prober.machine_name(),
+        smt,
+        &hier,
+        &norm,
+        &clusters,
+        prober.num_nodes(),
+    )?;
+    validate::validate(&topology)?;
+    Ok(Inference {
+        topology,
+        stats,
+        clusters,
+        raw_table: raw,
+    })
+}

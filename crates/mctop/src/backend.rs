@@ -1,0 +1,113 @@
+//! The simulated measurement backend: adapts `mcsim`'s latency oracle to
+//! the [`Prober`] interface.
+//!
+//! This is the stand-in for the paper's five physical machines (see
+//! DESIGN.md): the inference algorithm sees exactly the three OS
+//! facilities it needs (context count, node count, "pinning" — here,
+//! choosing which simulated contexts the measurement pair occupies) and
+//! raw noisy latency samples.
+
+use mcsim::{
+    LatencyOracle,
+    MachineSpec,
+    NoiseCfg, //
+};
+
+use crate::alg::probe::Prober;
+
+/// A [`Prober`] over a simulated machine.
+#[derive(Debug, Clone)]
+pub struct SimProber<'m> {
+    oracle: LatencyOracle<'m>,
+    spec: &'m MachineSpec,
+}
+
+impl<'m> SimProber<'m> {
+    /// Prober with the default noise model and DVFS enabled.
+    pub fn new(spec: &'m MachineSpec, seed: u64) -> Self {
+        SimProber {
+            oracle: LatencyOracle::new(spec, seed),
+            spec,
+        }
+    }
+
+    /// Prober with explicit noise (DVFS stays on).
+    pub fn with_noise(spec: &'m MachineSpec, seed: u64, noise: NoiseCfg) -> Self {
+        SimProber {
+            oracle: LatencyOracle::with_cfg(spec, seed, noise, mcsim::DvfsCfg::default()),
+            spec,
+        }
+    }
+
+    /// Noise-free, DVFS-free prober (deterministic inference).
+    pub fn noiseless(spec: &'m MachineSpec) -> Self {
+        SimProber {
+            oracle: LatencyOracle::noiseless(spec),
+            spec,
+        }
+    }
+
+    /// The underlying machine spec (ground truth for tests).
+    pub fn spec(&self) -> &MachineSpec {
+        self.spec
+    }
+
+    /// Raw probes issued so far.
+    pub fn probes_issued(&self) -> u64 {
+        self.oracle.probe_count()
+    }
+}
+
+impl Prober for SimProber<'_> {
+    fn num_hwcs(&self) -> usize {
+        self.spec.total_hwcs()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.spec.nodes
+    }
+
+    fn probe(&mut self, a: usize, b: usize) -> u32 {
+        self.oracle.probe_raw(a, b)
+    }
+
+    fn rdtsc_cost(&mut self) -> u32 {
+        self.oracle.rdtsc_cost_estimate()
+    }
+
+    fn spin_duration(&mut self, ctxs: &[usize], iters: u64) -> u64 {
+        self.oracle.spin_duration(ctxs, iters)
+    }
+
+    fn warmup(&mut self, ctx: usize) {
+        self.oracle.wait_max_freq(ctx);
+    }
+
+    fn machine_name(&self) -> String {
+        self.spec.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim::presets;
+
+    #[test]
+    fn prober_reports_machine_shape() {
+        let spec = presets::ivy();
+        let p = SimProber::noiseless(&spec);
+        assert_eq!(p.num_hwcs(), 40);
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.machine_name(), "ivy");
+    }
+
+    #[test]
+    fn probe_counts_accumulate() {
+        let spec = presets::synthetic_small();
+        let mut p = SimProber::noiseless(&spec);
+        p.probe(0, 1);
+        p.probe(0, 2);
+        assert_eq!(p.probes_issued(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Description files (Section 2: "MCTOP topologies are stored in
+//! description files, which are created by libmctop once and are then
+//! used to load the topology").
+//!
+//! The format is versioned JSON — human-inspectable like the original
+//! `.mct` files, and stable across library versions thanks to the
+//! explicit version gate.
+
+use std::path::Path;
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+use crate::alg::validate;
+use crate::error::McTopError;
+use crate::model::Mctop;
+
+/// Current description-file format version.
+pub const VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct DescFile {
+    version: u32,
+    topology: Mctop,
+}
+
+/// Serializes a topology to a description string.
+pub fn to_string(topo: &Mctop) -> Result<String, McTopError> {
+    serde_json::to_string_pretty(&DescFile {
+        version: VERSION,
+        topology: topo.clone(),
+    })
+    .map_err(|e| McTopError::InvalidDescription(e.to_string()))
+}
+
+/// Parses and validates a description string.
+pub fn from_str(s: &str) -> Result<Mctop, McTopError> {
+    let file: DescFile =
+        serde_json::from_str(s).map_err(|e| McTopError::InvalidDescription(e.to_string()))?;
+    if file.version != VERSION {
+        return Err(McTopError::InvalidDescription(format!(
+            "unsupported description version {} (expected {VERSION})",
+            file.version
+        )));
+    }
+    validate::validate(&file.topology)?;
+    Ok(file.topology)
+}
+
+/// Writes the description file for a topology.
+pub fn save(topo: &Mctop, path: &Path) -> Result<(), McTopError> {
+    std::fs::write(path, to_string(topo)?)?;
+    Ok(())
+}
+
+/// Loads a previously saved topology ("created once, then used to load
+/// the topology").
+pub fn load(path: &Path) -> Result<Mctop, McTopError> {
+    let s = std::fs::read_to_string(path)?;
+    from_str(&s)
+}
+
+/// Default description-file name for a machine.
+pub fn default_filename(machine_name: &str) -> String {
+    format!("{machine_name}.mct.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::probe::ProbeConfig;
+    use crate::backend::SimProber;
+    use mcsim::presets;
+
+    fn infer(spec: &mcsim::MachineSpec) -> Mctop {
+        let mut p = SimProber::noiseless(spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        crate::alg::run(&mut p, &cfg).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_topology() {
+        let topo = infer(&presets::synthetic_small());
+        let s = to_string(&topo).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let topo = infer(&presets::no_smt_small());
+        let dir = std::env::temp_dir();
+        let path = dir.join(default_filename(&topo.name));
+        save(&topo, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(topo, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let topo = infer(&presets::synthetic_small());
+        let s = to_string(&topo)
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
+        let err = from_str(&s).unwrap_err();
+        assert!(matches!(err, McTopError::InvalidDescription(_)));
+    }
+
+    #[test]
+    fn corrupt_payload_rejected_by_validation() {
+        let topo = infer(&presets::synthetic_small());
+        let s = to_string(&topo).unwrap();
+        // Surgical corruption: make the latency table asymmetric.
+        let mut v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        v["topology"]["lat_table"][1] = serde_json::json!(9999);
+        let res = from_str(&v.to_string());
+        assert!(matches!(res, Err(McTopError::IrregularTopology(_))));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str("not json").is_err());
+        assert!(from_str("{}").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/mctop.json")).unwrap_err();
+        assert!(matches!(err, McTopError::Io(_)));
+    }
+}

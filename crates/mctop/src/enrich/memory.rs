@@ -1,0 +1,177 @@
+//! Memory latency and bandwidth plugins (Section 4).
+//!
+//! The latency plugin pointer-chases a large working set from one
+//! context of every socket to every node; each socket's *local* node is
+//! the one it reaches with minimum latency. This measured mapping is
+//! authoritative: on the paper's Opteron it corrects the operating
+//! system's misconfigured view (footnote 1).
+//!
+//! The bandwidth plugin streams sequentially with all cores of a socket
+//! and records per-(socket, node) bandwidths plus the cross-socket link
+//! bandwidths.
+
+use super::MemoryProbe;
+use crate::error::McTopError;
+use crate::model::{
+    Mctop,
+    NodeAssignment, //
+};
+
+/// Working set for memory-latency chases: far beyond any LLC.
+const CHASE_WS: usize = 512 * 1024 * 1024;
+
+/// Measures per-(socket, node) load latencies and assigns local nodes.
+pub fn latency_plugin<M: MemoryProbe>(topo: &mut Mctop, probe: &mut M) -> Result<(), McTopError> {
+    let n_nodes = probe.num_nodes();
+    if n_nodes != topo.num_nodes() {
+        return Err(McTopError::IrregularTopology(format!(
+            "probe reports {n_nodes} nodes, topology has {}",
+            topo.num_nodes()
+        )));
+    }
+    for si in 0..topo.num_sockets() {
+        let rep = topo.sockets[si].hwcs[0];
+        let mut lats = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            lats.push(probe.chase_latency(rep, node, CHASE_WS).round() as u32);
+        }
+        let local = (0..n_nodes)
+            .min_by_key(|&n| (lats[n], n))
+            .expect("at least one node");
+        let s = &mut topo.sockets[si];
+        s.mem_latencies = lats;
+        s.local_node = Some(local);
+    }
+    // Home sockets: the socket with minimum latency to the node (two
+    // sockets can share a node; the first such socket is recorded).
+    for node in 0..n_nodes {
+        let home = (0..topo.num_sockets())
+            .min_by_key(|&s| (topo.sockets[s].mem_latencies[node], s))
+            .expect("at least one socket");
+        topo.nodes[node].home_socket = Some(home);
+        topo.nodes[node].capacity_gb = probe.node_capacity_gb(node);
+    }
+    topo.node_assignment = NodeAssignment::Measured;
+    Ok(())
+}
+
+/// Measures per-(socket, node) stream bandwidths and fills the
+/// cross-socket link bandwidths.
+pub fn bandwidth_plugin<M: MemoryProbe>(topo: &mut Mctop, probe: &mut M) -> Result<(), McTopError> {
+    let n_nodes = probe.num_nodes();
+    for si in 0..topo.num_sockets() {
+        // One streaming thread per core (SMT siblings share load ports,
+        // adding them does not raise bandwidth).
+        let threads: Vec<usize> = topo.sockets[si]
+            .cores
+            .iter()
+            .map(|&cg| topo.groups[cg].hwcs[0])
+            .collect();
+        let mut bws = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            bws.push(probe.stream_bandwidth(&threads, node));
+        }
+        // Single-core bandwidth to the local node (RR_SCALE input).
+        let local = topo.sockets[si].local_node.unwrap_or(0);
+        let single = probe.stream_bandwidth(&threads[..1], local);
+        let s = &mut topo.sockets[si];
+        s.mem_bandwidths = bws;
+        s.single_core_bw = Some(single);
+    }
+    // Link bandwidth between sockets a and b: what a's cores can stream
+    // from b's local node.
+    for li in 0..topo.links.len() {
+        let (a, b) = (topo.links[li].a, topo.links[li].b);
+        let bw = match topo.sockets[b].local_node {
+            Some(node) => topo.sockets[a].mem_bandwidths.get(node).copied(),
+            None => None,
+        };
+        topo.links[li].bandwidth = bw;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::validate::{
+        compare_with_os,
+        Divergence,
+        OsTopology, //
+    };
+    use crate::enrich::tests::inferred;
+    use crate::enrich::SimEnricher;
+    use mcsim::presets;
+
+    #[test]
+    fn local_node_is_minimum_latency_node() {
+        let spec = presets::westmere();
+        let mut topo = inferred(&spec);
+        let mut e = SimEnricher::new(&spec);
+        latency_plugin(&mut topo, &mut e).unwrap();
+        for s in &topo.sockets {
+            let local = s.local_node.unwrap();
+            let min = *s.mem_latencies.iter().min().unwrap();
+            assert_eq!(s.mem_latencies[local], min);
+        }
+    }
+
+    #[test]
+    fn opteron_measured_mapping_corrects_the_os() {
+        // Footnote 1 of the paper: "the OS has an incorrect mapping of
+        // cores to memory nodes, while MCTOP-ALG infers the correct
+        // mapping."
+        let spec = presets::opteron();
+        let mut topo = inferred(&spec);
+        let mut e = SimEnricher::new(&spec);
+        latency_plugin(&mut topo, &mut e).unwrap();
+        // Measured mapping equals the physical one.
+        for s in &topo.sockets {
+            let physical_socket = spec.loc(s.hwcs[0]).socket;
+            assert_eq!(
+                s.local_node,
+                Some(spec.local_node_of_socket[physical_socket])
+            );
+        }
+        // And the OS comparison reports the divergences.
+        let os = OsTopology::from_spec(&spec);
+        let divs = compare_with_os(&topo, &os);
+        assert!(!divs.is_empty());
+        assert!(divs
+            .iter()
+            .all(|d| matches!(d, Divergence::NodeMapping { .. })));
+        assert_eq!(divs.len(), 8);
+    }
+
+    #[test]
+    fn shared_node_machines_share_home_nodes() {
+        let spec = presets::shared_node();
+        let mut topo = inferred(&spec);
+        let mut e = SimEnricher::new(&spec);
+        latency_plugin(&mut topo, &mut e).unwrap();
+        // Four sockets, two nodes: each node local to two sockets.
+        let mut count = vec![0usize; 2];
+        for s in &topo.sockets {
+            count[s.local_node.unwrap()] += 1;
+        }
+        assert_eq!(count, vec![2, 2]);
+    }
+
+    #[test]
+    fn bandwidths_local_exceed_remote() {
+        let spec = presets::westmere();
+        let mut topo = inferred(&spec);
+        let mut e = SimEnricher::new(&spec);
+        latency_plugin(&mut topo, &mut e).unwrap();
+        bandwidth_plugin(&mut topo, &mut e).unwrap();
+        for s in &topo.sockets {
+            let local = s.local_bandwidth().unwrap();
+            for (node, &bw) in s.mem_bandwidths.iter().enumerate() {
+                if Some(node) != s.local_node {
+                    assert!(bw <= local + 1e-9, "socket {} node {node}", s.id);
+                }
+            }
+        }
+        assert!(topo.links.iter().all(|l| l.bandwidth.unwrap() > 0.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of the library.
+
+use std::fmt;
+
+/// Everything that can go wrong while inferring, enriching, loading or
+/// validating a topology.
+#[derive(Debug)]
+pub enum McTopError {
+    /// A pair's latency measurements never stabilized below the stdev
+    /// threshold, even after the retry escalation of Section 3.5.
+    UnstableMeasurements {
+        /// The offending context pair.
+        pair: (usize, usize),
+        /// The best relative standard deviation achieved.
+        stdev_frac: f64,
+    },
+    /// The CDF clustering step could not produce a usable set of
+    /// latency clusters (Section 3.6, "Unsuccessful Clustering").
+    ClusteringFailed(String),
+    /// Component construction found an asymmetric or non-hierarchical
+    /// structure (components of unequal cardinality, non-clique groups
+    /// below the socket level, a context in two components, ...).
+    IrregularTopology(String),
+    /// A description file could not be parsed or fails validation.
+    InvalidDescription(String),
+    /// The requested plugin or backend is unavailable on this platform
+    /// (e.g. power measurements on non-Intel machines).
+    Unavailable(&'static str),
+    /// Filesystem error while reading/writing description files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for McTopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McTopError::UnstableMeasurements { pair, stdev_frac } => write!(
+                f,
+                "measurements for contexts ({}, {}) never stabilized (stdev {:.1}% of median); \
+                 retry with different settings",
+                pair.0,
+                pair.1,
+                stdev_frac * 100.0
+            ),
+            McTopError::ClusteringFailed(msg) => write!(f, "latency clustering failed: {msg}"),
+            McTopError::IrregularTopology(msg) => write!(f, "irregular topology: {msg}"),
+            McTopError::InvalidDescription(msg) => write!(f, "invalid description: {msg}"),
+            McTopError::Unavailable(what) => write!(f, "unavailable on this platform: {what}"),
+            McTopError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McTopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McTopError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for McTopError {
+    fn from(e: std::io::Error) -> Self {
+        McTopError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = McTopError::UnstableMeasurements {
+            pair: (3, 17),
+            stdev_frac: 0.21,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(3, 17)"));
+        assert!(s.contains("21.0%"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = McTopError::from(io);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,5 @@
+//! Rendering MCTOP topologies: Graphviz graphs (as in Figs. 1-3 of the
+//! paper) and a textual dump.
+
+pub mod dot;
+pub mod text;

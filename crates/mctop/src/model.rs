@@ -1,0 +1,533 @@
+//! The MCTOP topology abstraction: the structures of Table 1 of the
+//! paper, linked vertically (hierarchy) and horizontally (proximity),
+//! plus the enriched low-level measurements of Section 4.
+//!
+//! Structures live in arenas inside [`Mctop`] and reference each other
+//! by index. This mirrors the pointer web of the C library while staying
+//! `Send + Sync` and trivially serializable.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// A latency cluster: minimum, median and maximum of the raw values that
+/// MCTOP-ALG grouped together (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatTriplet {
+    /// Smallest raw value in the cluster.
+    pub min: u32,
+    /// Median (the value used for normalization).
+    pub median: u32,
+    /// Largest raw value in the cluster.
+    pub max: u32,
+}
+
+impl LatTriplet {
+    /// A degenerate triplet for an exact value.
+    pub fn exact(v: u32) -> Self {
+        LatTriplet {
+            min: v,
+            median: v,
+            max: v,
+        }
+    }
+}
+
+/// The role MCTOP-ALG assigned to a latency level (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LevelRole {
+    /// Level 0: a hardware context with itself.
+    SelfLevel,
+    /// Hardware contexts of the same core (SMT).
+    Smt,
+    /// An intermediate group inside a socket (e.g. cores sharing an L2).
+    IntraGroup,
+    /// The socket level.
+    Socket,
+    /// Communication between sockets over `hops` interconnect hops.
+    CrossSocket {
+        /// Interconnect hops (1 = direct link).
+        hops: usize,
+    },
+}
+
+/// Metadata of one latency level of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyLevel {
+    /// Index in `Mctop::levels` (0 = self).
+    pub index: usize,
+    /// The latency cluster of this level.
+    pub latency: LatTriplet,
+    /// Assigned role.
+    pub role: LevelRole,
+}
+
+/// `hw_context` of Table 1: the lowest scheduling unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwContext {
+    /// OS id of this context (index into `Mctop::hwcs`).
+    pub id: usize,
+    /// Parent core (index into `Mctop::cores`).
+    pub core: usize,
+    /// Parent socket (index into `Mctop::sockets`).
+    pub socket: usize,
+    /// Successor in proximity order: the distinct context with the
+    /// smallest communication latency (ties broken by id). The
+    /// "horizontal" link of Section 2.
+    pub next_closest: usize,
+}
+
+/// `hwc_group` of Table 1: a group of contexts or of smaller groups —
+/// a core, a cluster of cores sharing a cache, or a socket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwcGroup {
+    /// Index into `Mctop::groups`.
+    pub id: usize,
+    /// Latency level of this group (index into `Mctop::levels`).
+    pub level: usize,
+    /// Communication latency between members, cycles (level median).
+    pub latency: u32,
+    /// All hardware contexts contained, ascending OS id.
+    pub hwcs: Vec<usize>,
+    /// Child groups (`Mctop::groups` indices); empty for core-level
+    /// groups whose children are the `hwcs` themselves.
+    pub children: Vec<usize>,
+    /// Parent group, if any.
+    pub parent: Option<usize>,
+    /// The socket this group belongs to (its own index for sockets).
+    pub socket: Option<usize>,
+}
+
+/// `socket` of Table 1: a socket-level hwc group plus NUMA and
+/// interconnect information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Socket {
+    /// Socket index (index into `Mctop::sockets`).
+    pub id: usize,
+    /// The socket's group in `Mctop::groups`.
+    pub group: usize,
+    /// Hardware contexts of this socket, ascending OS id.
+    pub hwcs: Vec<usize>,
+    /// Core groups of this socket (`Mctop::groups` indices).
+    pub cores: Vec<usize>,
+    /// Local memory node, once known (provisional until the memory
+    /// plugin measures it; see `Mctop::node_assignment`).
+    pub local_node: Option<usize>,
+    /// Measured load latency to every node, cycles (memory plugin).
+    pub mem_latencies: Vec<u32>,
+    /// Measured bandwidth to every node, GB/s (bandwidth plugin).
+    pub mem_bandwidths: Vec<f64>,
+    /// Bandwidth a single core extracts from the local node, GB/s
+    /// (bandwidth plugin; drives the RR_SCALE placement policy).
+    pub single_core_bw: Option<f64>,
+}
+
+impl Socket {
+    /// Bandwidth to the local node, if measured.
+    pub fn local_bandwidth(&self) -> Option<f64> {
+        let node = self.local_node?;
+        self.mem_bandwidths.get(node).copied()
+    }
+
+    /// Latency to the local node, if measured.
+    pub fn local_latency(&self) -> Option<u32> {
+        let node = self.local_node?;
+        self.mem_latencies.get(node).copied()
+    }
+}
+
+/// `node` of Table 1: a memory node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node index.
+    pub id: usize,
+    /// Socket hosting this node's controller, once known.
+    pub home_socket: Option<usize>,
+    /// Capacity in GB, if known.
+    pub capacity_gb: Option<f64>,
+}
+
+/// `interconnect` of Table 1: the connection between two sockets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectLink {
+    /// Lower socket id.
+    pub a: usize,
+    /// Higher socket id.
+    pub b: usize,
+    /// Context-to-context latency across this connection, cycles.
+    pub latency: u32,
+    /// Hops (1 = direct; >1 means the sockets are not directly wired
+    /// and traffic is forwarded, the "lvl 4 (2 hops)" of Figs. 1-2).
+    pub hops: usize,
+    /// Measured cross-socket memory bandwidth, GB/s (bandwidth plugin).
+    pub bandwidth: Option<f64>,
+}
+
+/// How the socket->node mapping in this topology was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeAssignment {
+    /// Guessed (identity) — no measurement or OS information yet.
+    Provisional,
+    /// Reported by the operating system (may be wrong; cf. footnote 1).
+    OsReported,
+    /// Measured by the memory-latency plugin: each socket's local node
+    /// is the node it reaches with minimum latency.
+    Measured,
+}
+
+/// One measured cache level (cache plugin, Section 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevelInfo {
+    /// Level name ("L1", "L2", "LLC").
+    pub name: String,
+    /// Estimated size in bytes (from the latency knee).
+    pub size_estimate: usize,
+    /// Size as reported by the OS, if available.
+    pub os_size: Option<usize>,
+    /// Estimated load-to-use latency, cycles.
+    pub latency: u32,
+}
+
+/// Power measurements (power plugin; Intel-only in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerInfo {
+    /// Idle power of the whole processor, W.
+    pub idle_w: f64,
+    /// Power with every context active and DRAM loaded, W.
+    pub full_w: f64,
+    /// Per-socket idle (base) power, W.
+    pub socket_base_w: f64,
+    /// Marginal power of the first context of a core, W.
+    pub first_ctx_w: f64,
+    /// Marginal power of the second context of an active core, W.
+    pub second_ctx_w: f64,
+    /// DRAM power of one active socket, W.
+    pub dram_socket_w: f64,
+}
+
+impl PowerInfo {
+    /// Estimated power (W) of running the given contexts, using the
+    /// same accounting the paper's Fig. 7 output shows.
+    pub fn estimate(&self, topo: &Mctop, active_hwcs: &[usize], with_dram: bool) -> f64 {
+        let mut first = vec![false; topo.num_cores()];
+        let mut extra = vec![0usize; topo.num_cores()];
+        let mut socket_active = vec![false; topo.num_sockets()];
+        for &h in active_hwcs {
+            let core = topo.hwcs[h].core;
+            if first[core] {
+                extra[core] += 1;
+            } else {
+                first[core] = true;
+            }
+            socket_active[topo.hwcs[h].socket] = true;
+        }
+        let mut w = topo.num_sockets() as f64 * self.socket_base_w;
+        for core in 0..topo.num_cores() {
+            if first[core] {
+                w += self.first_ctx_w + extra[core] as f64 * self.second_ctx_w;
+            }
+        }
+        if with_dram {
+            w += socket_active.iter().filter(|&&a| a).count() as f64 * self.dram_socket_w;
+        }
+        w
+    }
+}
+
+/// `mctop` of Table 1: the root structure linking everything together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mctop {
+    /// Machine name (free-form; presets use "ivy", "westmere", ...).
+    pub name: String,
+    /// Whether the machine has SMT and how many contexts share a core.
+    pub smt: usize,
+    /// Latency levels, ascending.
+    pub levels: Vec<LatencyLevel>,
+    /// All hardware contexts, indexed by OS id.
+    pub hwcs: Vec<HwContext>,
+    /// Group arena: cores, intermediate groups, sockets.
+    pub groups: Vec<HwcGroup>,
+    /// Core-level groups, ordered by smallest member context.
+    pub cores: Vec<usize>,
+    /// Sockets.
+    pub sockets: Vec<Socket>,
+    /// Memory nodes.
+    pub nodes: Vec<Node>,
+    /// Socket-to-socket connections (every pair, with hop counts).
+    pub links: Vec<InterconnectLink>,
+    /// Normalized context-to-context latency table (row-major, N x N).
+    pub lat_table: Vec<u32>,
+    /// Provenance of the socket->node mapping.
+    pub node_assignment: NodeAssignment,
+    /// Cache measurements, once the cache plugin ran.
+    pub caches: Option<Vec<CacheLevelInfo>>,
+    /// Power measurements, once the power plugin ran.
+    pub power: Option<PowerInfo>,
+    /// Nominal frequency in GHz, if known (used to convert cycles to
+    /// wall-clock time in reports; measurement-only topologies leave it
+    /// unset).
+    pub freq_ghz: Option<f64>,
+}
+
+impl Mctop {
+    /// Number of hardware contexts.
+    pub fn num_hwcs(&self) -> usize {
+        self.hwcs.len()
+    }
+
+    /// Number of physical cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of sockets.
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Number of memory nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Contexts per core (1 = no SMT).
+    pub fn smt(&self) -> usize {
+        self.smt
+    }
+
+    /// Whether the machine has SMT.
+    pub fn has_smt(&self) -> bool {
+        self.smt > 1
+    }
+
+    /// Normalized communication latency between two contexts
+    /// (`mctop_get_latency` of Section 2).
+    pub fn get_latency(&self, a: usize, b: usize) -> u32 {
+        let n = self.num_hwcs();
+        assert!(a < n && b < n, "context out of range");
+        self.lat_table[a * n + b]
+    }
+
+    /// The local memory node of a context
+    /// (`mctop_get_local_node` of Section 2).
+    pub fn get_local_node(&self, hwc: usize) -> Option<usize> {
+        self.sockets[self.hwcs[hwc].socket].local_node
+    }
+
+    /// Core group ids of a socket (`mctop_socket_get_cores`).
+    pub fn socket_get_cores(&self, socket: usize) -> &[usize] {
+        &self.sockets[socket].cores
+    }
+
+    /// Hardware contexts of a socket.
+    pub fn socket_get_hwcs(&self, socket: usize) -> &[usize] {
+        &self.sockets[socket].hwcs
+    }
+
+    /// The socket of a context.
+    pub fn socket_of(&self, hwc: usize) -> usize {
+        self.hwcs[hwc].socket
+    }
+
+    /// The core group of a context.
+    pub fn core_of(&self, hwc: usize) -> &HwcGroup {
+        &self.groups[self.hwcs[hwc].core_group_id(self)]
+    }
+
+    /// The interconnect link record for a socket pair.
+    pub fn link(&self, a: usize, b: usize) -> Option<&InterconnectLink> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.links.iter().find(|l| l.a == lo && l.b == hi)
+    }
+
+    /// Maximum latency level of the machine.
+    pub fn max_latency(&self) -> u32 {
+        self.levels.last().map_or(0, |l| l.latency.median)
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} sockets x {} cores x {} contexts ({} hw contexts, {} nodes, {} levels)",
+            self.name,
+            self.num_sockets(),
+            self.num_cores() / self.num_sockets().max(1),
+            self.smt,
+            self.num_hwcs(),
+            self.num_nodes(),
+            self.levels.len()
+        )
+    }
+}
+
+impl HwContext {
+    /// The group id (arena index) of this context's core.
+    fn core_group_id(&self, topo: &Mctop) -> usize {
+        topo.cores[self.core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lat_triplet_exact() {
+        let t = LatTriplet::exact(112);
+        assert_eq!(t.min, 112);
+        assert_eq!(t.median, 112);
+        assert_eq!(t.max, 112);
+    }
+
+    #[test]
+    fn power_info_estimate_counts_cores_and_smt() {
+        // A hand-built 1-socket, 2-core, SMT-2 topology is enough to
+        // test the accounting.
+        let topo = tiny_topology();
+        let p = PowerInfo {
+            idle_w: 10.0,
+            full_w: 30.0,
+            socket_base_w: 10.0,
+            first_ctx_w: 4.0,
+            second_ctx_w: 1.0,
+            dram_socket_w: 20.0,
+        };
+        // One context: base + core.
+        assert_eq!(p.estimate(&topo, &[0], false), 14.0);
+        // Both contexts of core 0: base + core + smt.
+        assert_eq!(p.estimate(&topo, &[0, 2], false), 15.0);
+        // Spread on two cores: base + 2 * core.
+        assert_eq!(p.estimate(&topo, &[0, 1], false), 18.0);
+        // DRAM charged once for the single active socket.
+        assert_eq!(p.estimate(&topo, &[0], true), 34.0);
+    }
+
+    /// 1 socket, 2 cores, 2 SMT contexts: contexts (0,2) on core 0 and
+    /// (1,3) on core 1 (CoresFirst numbering).
+    pub(crate) fn tiny_topology() -> Mctop {
+        let levels = vec![
+            LatencyLevel {
+                index: 0,
+                latency: LatTriplet::exact(0),
+                role: LevelRole::SelfLevel,
+            },
+            LatencyLevel {
+                index: 1,
+                latency: LatTriplet::exact(30),
+                role: LevelRole::Smt,
+            },
+            LatencyLevel {
+                index: 2,
+                latency: LatTriplet::exact(100),
+                role: LevelRole::Socket,
+            },
+        ];
+        let groups = vec![
+            HwcGroup {
+                id: 0,
+                level: 1,
+                latency: 30,
+                hwcs: vec![0, 2],
+                children: vec![],
+                parent: Some(2),
+                socket: Some(0),
+            },
+            HwcGroup {
+                id: 1,
+                level: 1,
+                latency: 30,
+                hwcs: vec![1, 3],
+                children: vec![],
+                parent: Some(2),
+                socket: Some(0),
+            },
+            HwcGroup {
+                id: 2,
+                level: 2,
+                latency: 100,
+                hwcs: vec![0, 1, 2, 3],
+                children: vec![0, 1],
+                parent: None,
+                socket: Some(0),
+            },
+        ];
+        let hwcs = vec![
+            HwContext {
+                id: 0,
+                core: 0,
+                socket: 0,
+                next_closest: 2,
+            },
+            HwContext {
+                id: 1,
+                core: 1,
+                socket: 0,
+                next_closest: 3,
+            },
+            HwContext {
+                id: 2,
+                core: 0,
+                socket: 0,
+                next_closest: 0,
+            },
+            HwContext {
+                id: 3,
+                core: 1,
+                socket: 0,
+                next_closest: 1,
+            },
+        ];
+        let mut lat = vec![100u32; 16];
+        for i in 0..4 {
+            lat[i * 4 + i] = 0;
+        }
+        lat[2] = 30;
+        lat[2 * 4] = 30;
+        lat[1 * 4 + 3] = 30;
+        lat[3 * 4 + 1] = 30;
+        Mctop {
+            name: "tiny".into(),
+            smt: 2,
+            levels,
+            hwcs,
+            groups,
+            cores: vec![0, 1],
+            sockets: vec![Socket {
+                id: 0,
+                group: 2,
+                hwcs: vec![0, 1, 2, 3],
+                cores: vec![0, 1],
+                local_node: Some(0),
+                mem_latencies: vec![250],
+                mem_bandwidths: vec![20.0],
+                single_core_bw: Some(6.0),
+            }],
+            nodes: vec![Node {
+                id: 0,
+                home_socket: Some(0),
+                capacity_gb: None,
+            }],
+            links: vec![],
+            lat_table: lat,
+            node_assignment: NodeAssignment::Provisional,
+            caches: None,
+            power: None,
+            freq_ghz: None,
+        }
+    }
+
+    #[test]
+    fn tiny_topology_queries() {
+        let t = tiny_topology();
+        assert_eq!(t.num_hwcs(), 4);
+        assert_eq!(t.num_cores(), 2);
+        assert_eq!(t.num_sockets(), 1);
+        assert_eq!(t.get_latency(0, 2), 30);
+        assert_eq!(t.get_latency(0, 1), 100);
+        assert_eq!(t.get_local_node(3), Some(0));
+        assert_eq!(t.max_latency(), 100);
+        assert!(t.summary().contains("tiny"));
+        assert!(t.link(0, 0).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! The topology query engine (Section 5: "Essentially, MCTOP provides a
+//! topology query engine for multi-cores").
+//!
+//! These queries are the vocabulary in which the high-level performance
+//! policies are written: closest sockets, maximum-bandwidth sockets,
+//! maximum latency among a set of contexts, and so on. None of them
+//! mention a concrete machine — that is what makes policies portable.
+
+use crate::model::Mctop;
+
+impl Mctop {
+    /// Sockets sorted by communication latency from `socket`, closest
+    /// first (excluding `socket` itself). Ties break toward lower ids.
+    pub fn closest_sockets(&self, socket: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..self.num_sockets()).filter(|&s| s != socket).collect();
+        others.sort_by_key(|&s| (self.socket_latency(socket, s), s));
+        others
+    }
+
+    /// Context-to-context latency between two sockets (via their link
+    /// record; `u32::MAX` if unknown).
+    pub fn socket_latency(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return self.levels[self.socket_level_index()].latency.median;
+        }
+        self.link(a, b).map_or(u32::MAX, |l| l.latency)
+    }
+
+    /// Index of the socket level in `levels`.
+    pub fn socket_level_index(&self) -> usize {
+        self.levels
+            .iter()
+            .position(|l| matches!(l.role, crate::model::LevelRole::Socket))
+            .unwrap_or(0)
+    }
+
+    /// The pair of distinct sockets with minimum latency, if the machine
+    /// has at least two sockets ("use any two sockets that minimize
+    /// latency", Section 1).
+    pub fn min_latency_socket_pair(&self) -> Option<(usize, usize)> {
+        self.links
+            .iter()
+            .min_by_key(|l| (l.latency, l.a, l.b))
+            .map(|l| (l.a, l.b))
+    }
+
+    /// Sockets sorted by local memory bandwidth, descending (requires
+    /// the bandwidth plugin). Sockets without measurements sort last.
+    pub fn sockets_by_local_bandwidth(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.num_sockets()).collect();
+        ids.sort_by(|&a, &b| {
+            let ba = self.sockets[a].local_bandwidth().unwrap_or(0.0);
+            let bb = self.sockets[b].local_bandwidth().unwrap_or(0.0);
+            bb.partial_cmp(&ba).unwrap().then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// The socket with the maximum local memory bandwidth.
+    pub fn max_bandwidth_socket(&self) -> usize {
+        self.sockets_by_local_bandwidth()[0]
+    }
+
+    /// Maximum communication latency between any two of the given
+    /// contexts: the backoff quantum of the "educated backoffs" policy
+    /// (Section 5).
+    pub fn max_latency_between(&self, hwcs: &[usize]) -> u32 {
+        let mut max = 0;
+        for (i, &a) in hwcs.iter().enumerate() {
+            for &b in hwcs.iter().skip(i + 1) {
+                max = max.max(self.get_latency(a, b));
+            }
+        }
+        max
+    }
+
+    /// Minimum local bandwidth among the sockets used by the given
+    /// contexts (the "Min bandwidth" line of Fig. 7).
+    pub fn min_bandwidth_of(&self, hwcs: &[usize]) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for s in self.sockets_used_by(hwcs) {
+            let bw = self.sockets[s].local_bandwidth()?;
+            min = Some(min.map_or(bw, |m: f64| m.min(bw)));
+        }
+        min
+    }
+
+    /// The distinct sockets used by the given contexts, ascending.
+    pub fn sockets_used_by(&self, hwcs: &[usize]) -> Vec<usize> {
+        let mut s: Vec<usize> = hwcs.iter().map(|&h| self.hwcs[h].socket).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// All contexts of the socket, unique cores first (first context of
+    /// every core, then second contexts, ...). This is the iteration
+    /// order of the `CON_CORE`-flavoured policies.
+    pub fn socket_hwcs_cores_first(&self, socket: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.sockets[socket].hwcs.len());
+        for round in 0..self.smt {
+            for &cg in &self.sockets[socket].cores {
+                if let Some(&h) = self.groups[cg].hwcs.get(round) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Contexts of a socket in compact order (all contexts of core 0,
+    /// then core 1, ...). Iteration order of `CON_HWC`.
+    pub fn socket_hwcs_compact(&self, socket: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.sockets[socket].hwcs.len());
+        for &cg in &self.sockets[socket].cores {
+            out.extend_from_slice(&self.groups[cg].hwcs);
+        }
+        out
+    }
+
+    /// Walks sockets in a bandwidth-then-proximity order: start from the
+    /// socket with maximum local bandwidth, then repeatedly append the
+    /// unvisited socket best connected (lowest latency) to the last one.
+    /// This is the socket order of the CON_* policies of Section 6.
+    pub fn socket_order_bandwidth_proximity(&self) -> Vec<usize> {
+        let n = self.num_sockets();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order = vec![self.max_bandwidth_socket()];
+        while order.len() < n {
+            let last = *order.last().unwrap();
+            let next = self
+                .closest_sockets(last)
+                .into_iter()
+                .find(|s| !order.contains(s))
+                .expect("unvisited socket exists");
+            order.push(next);
+        }
+        order
+    }
+
+    /// Cross-socket bandwidth between two sockets, if measured.
+    pub fn cross_bandwidth(&self, a: usize, b: usize) -> Option<f64> {
+        self.link(a, b).and_then(|l| l.bandwidth)
+    }
+
+    /// Estimated LLC share (bytes) available to each of `k` threads
+    /// placed on one socket — policies like "each thread has access to
+    /// at least 3 MB of LLC" (Section 1) build on this.
+    pub fn llc_share_per_thread(&self, k: usize) -> Option<usize> {
+        let caches = self.caches.as_ref()?;
+        let llc = caches.last()?;
+        if k == 0 {
+            return Some(llc.size_estimate);
+        }
+        Some(llc.size_estimate / k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::alg::probe::ProbeConfig;
+    use crate::backend::SimProber;
+    use crate::model::Mctop;
+    use mcsim::presets;
+
+    fn infer(spec: &mcsim::MachineSpec) -> Mctop {
+        let mut p = SimProber::noiseless(spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        crate::alg::run(&mut p, &cfg).unwrap()
+    }
+
+    #[test]
+    fn closest_sockets_on_opteron_prefers_mcm_partner() {
+        let t = infer(&presets::opteron());
+        let order = t.closest_sockets(0);
+        // Socket 1 (MCM partner, 197 cy) first; 2-hop sockets last.
+        assert_eq!(order[0], 1);
+        let last = *order.last().unwrap();
+        assert_eq!(t.socket_latency(0, last), 300);
+    }
+
+    #[test]
+    fn min_latency_pair_is_an_mcm_pair() {
+        let t = infer(&presets::opteron());
+        let (a, b) = t.min_latency_socket_pair().unwrap();
+        assert_eq!(t.socket_latency(a, b), 197);
+    }
+
+    #[test]
+    fn max_latency_between_spans_sockets() {
+        let t = infer(&presets::synthetic_small());
+        // Contexts on the same socket.
+        let same = t.max_latency_between(&[0, 1, 2]);
+        assert_eq!(same, 100);
+        // Contexts across sockets.
+        let cross = t.max_latency_between(&[0, 1, 4]);
+        assert_eq!(cross, 290);
+        // SMT pair only.
+        assert_eq!(t.max_latency_between(&[0, 8]), 30);
+        assert_eq!(t.max_latency_between(&[3]), 0);
+    }
+
+    #[test]
+    fn cores_first_order_interleaves_smt() {
+        let t = infer(&presets::synthetic_small());
+        let order = t.socket_hwcs_cores_first(0);
+        // Socket 0 of synth-small: cores {0,8},{1,9},{2,10},{3,11}.
+        assert_eq!(order, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        let compact = t.socket_hwcs_compact(0);
+        assert_eq!(compact, vec![0, 8, 1, 9, 2, 10, 3, 11]);
+    }
+
+    #[test]
+    fn socket_order_covers_all_sockets() {
+        for spec in [presets::synthetic_small(), presets::no_smt_small()] {
+            let t = infer(&spec);
+            let order = t.socket_order_bandwidth_proximity();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..t.num_sockets()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sockets_used_by_dedups() {
+        let t = infer(&presets::synthetic_small());
+        assert_eq!(t.sockets_used_by(&[0, 1, 8]), vec![0]);
+        assert_eq!(t.sockets_used_by(&[0, 4]), vec![0, 1]);
+    }
+}

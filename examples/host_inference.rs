@@ -1,0 +1,70 @@
+//! Runs the *real* measurement backend on the machine executing this
+//! example: two pinned threads, lock-step CAS ping-pong, wall-clock
+//! timing (Linux only).
+//!
+//! Run with `cargo run --release --example host_inference`. On a
+//! multi-socket machine this prints the genuine latency structure; on a
+//! laptop or container it shows a single flat level — which is itself
+//! the correct answer.
+
+fn main() {
+    #[cfg(target_os = "linux")]
+    {
+        use mctop::alg::probe::{
+            collect,
+            ProbeConfig, //
+            Prober,
+        };
+        use mctop::host::HostProber;
+
+        let mut prober = HostProber::new().expect("host discovery");
+        let n = prober.num_hwcs();
+        println!(
+            "host: {} hardware contexts, {} NUMA node(s)",
+            n,
+            prober.num_nodes()
+        );
+        if n < 2 {
+            println!("single context: nothing to measure");
+            return;
+        }
+        // Keep it quick: a handful of samples per pair.
+        let cfg = ProbeConfig {
+            reps: 31,
+            stdev_frac: 0.5,
+            stdev_frac_max: 2.0,
+            warmup: false,
+            ..ProbeConfig::default()
+        };
+        match collect(&mut prober, &cfg) {
+            Ok((table, stats)) => {
+                println!("latency table (ns):");
+                for a in 0..n.min(8) {
+                    let row: Vec<String> = (0..n.min(8))
+                        .map(|b| format!("{:>6}", table.get(a, b)))
+                        .collect();
+                    println!("  {}", row.join(" "));
+                }
+                println!("({} raw probes issued)", stats.probes);
+                // Try the full inference; noisy cloud machines may
+                // legitimately fail clustering — that is the Section 3.6
+                // error path.
+                match mctop::alg::cluster::cluster(&table.upper_triangle(), &Default::default()) {
+                    Ok(clusters) => {
+                        println!("latency clusters:");
+                        for c in clusters {
+                            println!(
+                                "  min {:>5}  median {:>5}  max {:>5}",
+                                c.min, c.median, c.max
+                            );
+                        }
+                    }
+                    Err(e) => println!("clustering failed (expected on noisy hosts): {e}"),
+                }
+            }
+            Err(e) => println!("collection failed (noisy host): {e}"),
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    println!("the host backend requires Linux (sched_setaffinity)");
+}

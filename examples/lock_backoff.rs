@@ -1,0 +1,66 @@
+//! Educated backoffs for spinlocks (Section 7.1): real measurement on
+//! the host plus the coherence-model reproduction of Fig. 8 on the
+//! paper's Ivy machine.
+//!
+//! Run with `cargo run --release --example lock_backoff`.
+
+use std::time::Duration;
+
+use mctop_locks::backoff::BackoffCfg;
+use mctop_locks::harness::{
+    run,
+    HarnessCfg, //
+};
+use mctop_locks::sim::{
+    default_thread_counts,
+    fig8_series,
+    SimParams, //
+};
+use mctop_locks::LockAlgo;
+
+fn main() {
+    // --- Real execution on this machine --------------------------------
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
+    let cfg = HarnessCfg {
+        threads,
+        cs_work: 1000,
+        noncs_work: 600,
+        duration: Duration::from_millis(300),
+    };
+    println!("host: {threads} threads, 1000-cycle critical sections");
+    for algo in LockAlgo::ALL {
+        let base = run(algo, BackoffCfg::none(), &cfg);
+        let educated = run(
+            algo,
+            BackoffCfg {
+                quantum_cycles: 300,
+            },
+            &cfg,
+        );
+        println!(
+            "  {:<7} pause {:>10.0} ops/s   educated {:>10.0} ops/s   ({:.2}x)",
+            algo.name(),
+            base.ops_per_sec,
+            educated.ops_per_sec,
+            educated.ops_per_sec / base.ops_per_sec
+        );
+    }
+
+    // --- Fig. 8 on the simulated Ivy ------------------------------------
+    let spec = mcsim::presets::ivy();
+    let params = SimParams::default();
+    println!(
+        "\nsimulated {} (Fig. 8 series, relative throughput):",
+        spec.name
+    );
+    for algo in LockAlgo::ALL {
+        let series = fig8_series(&spec, algo, &default_thread_counts(&spec), &params);
+        let pts: Vec<String> = series
+            .iter()
+            .map(|p| format!("{}t:{:.2}", p.threads, p.relative))
+            .collect();
+        println!("  {:<7} {}", algo.name(), pts.join("  "));
+    }
+}

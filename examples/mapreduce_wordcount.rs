@@ -1,0 +1,53 @@
+//! MapReduce Word Count under different placement policies
+//! (Section 7.3), run for real on the host.
+//!
+//! Run with `cargo run --release --example mapreduce_wordcount`.
+
+use std::time::Instant;
+
+use mctop::backend::SimProber;
+use mctop::ProbeConfig;
+use mctop_mapred::engine::{
+    run_job,
+    EngineCfg, //
+};
+use mctop_mapred::workloads::{
+    gen_text,
+    WordCount, //
+};
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+
+fn main() {
+    let spec = mcsim::presets::synthetic_small();
+    let mut prober = SimProber::noiseless(&spec);
+    let topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+
+    let text = gen_text(20_000, 50, 20_000, 7);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(topo.num_hwcs());
+    println!("word count: {} lines, {threads} workers", text.len());
+
+    for policy in [
+        Policy::Sequential,
+        Policy::ConCoreHwc,
+        Policy::RrCore,
+        Policy::BalanceHwc,
+    ] {
+        let place = Placement::new(&topo, policy, PlaceOpts::threads(threads)).expect("place");
+        let t = Instant::now();
+        let out = run_job(&WordCount, &text, &place, &EngineCfg::default());
+        println!(
+            "  {:<13} {:>8.1} ms  ({} distinct words, top count {})",
+            policy.name(),
+            t.elapsed().as_secs_f64() * 1e3,
+            out.len(),
+            out.iter().map(|(_, c)| *c).max().unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! All twelve MCTOP-PLACE policies on the paper's Ivy machine,
+//! including the exact Fig. 7 configuration (CON_HWC, 30 threads).
+//!
+//! Run with `cargo run --example placement_demo`.
+
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+
+fn main() {
+    let spec = mcsim::presets::ivy();
+    let mut prober = SimProber::noiseless(&spec);
+    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+    let mut mem = SimEnricher::new(&spec);
+    let mut pow = SimEnricher::new(&spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+
+    // The Fig. 7 printout.
+    let fig7 = Placement::new(&topo, Policy::ConHwc, PlaceOpts::threads(30)).expect("place");
+    println!("{}", fig7.print());
+
+    // Every policy with 12 threads: how the first contexts differ.
+    println!("First 12 contexts handed out by each policy:");
+    for policy in Policy::ALL {
+        match Placement::new(&topo, policy, PlaceOpts::threads(12)) {
+            Ok(p) => {
+                let ids: Vec<String> = p.order().iter().map(|h| h.to_string()).collect();
+                println!("  {:<17} {}", policy.name(), ids.join(" "));
+            }
+            Err(e) => println!("  {:<17} unavailable: {e}", policy.name()),
+        }
+    }
+
+    // Pin/unpin cycle: what a pinned thread learns about itself.
+    let pin = fig7.pin().expect("slot available");
+    println!(
+        "\npinned: hwc {} on socket {} (core {}, local node {:?})",
+        pin.hwc, pin.socket, pin.core, pin.local_node
+    );
+    fig7.unpin(pin);
+}

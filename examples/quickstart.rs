@@ -1,0 +1,56 @@
+//! Quickstart: infer a topology, query it, persist it, reload it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mctop::alg::validate;
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+
+fn main() {
+    // 1. Pick a machine. On real hardware this would be the host (see
+    //    the `host_inference` example); here we use the paper's Ivy
+    //    Bridge model.
+    let spec = mcsim::presets::ivy();
+
+    // 2. Run MCTOP-ALG: latency probes -> clusters -> components ->
+    //    topology.
+    let mut prober = SimProber::new(&spec, 42);
+    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+    println!("{}", topo.summary());
+
+    // 3. Enrich with the Section-4 plugins (memory, cache, power).
+    let mut mem = SimEnricher::new(&spec);
+    let mut pow = SimEnricher::new(&spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+
+    // 4. Query the topology (the portable vocabulary of Section 5).
+    println!(
+        "latency(0, 20)        = {} cycles (SMT siblings)",
+        topo.get_latency(0, 20)
+    );
+    println!(
+        "latency(0, 10)        = {} cycles (cross-socket)",
+        topo.get_latency(0, 10)
+    );
+    println!("local node of ctx 3   = {:?}", topo.get_local_node(3));
+    println!("closest to socket 0   = {:?}", topo.closest_sockets(0));
+    println!("max-bandwidth socket  = {}", topo.max_bandwidth_socket());
+    println!("backoff quantum (all) = {} cycles", topo.max_latency());
+
+    // 5. Validate and compare against the OS view (Section 3.6).
+    validate::validate(&topo).expect("structural validation");
+    let os = validate::OsTopology::from_spec(&spec);
+    let divergences = validate::compare_with_os(&topo, &os);
+    println!("divergences vs OS     = {divergences:?}");
+
+    // 6. Persist the description file and load it back (Section 2).
+    let path = std::env::temp_dir().join(mctop::desc::default_filename(&topo.name));
+    mctop::desc::save(&topo, &path).expect("save");
+    let reloaded = mctop::desc::load(&path).expect("load");
+    assert_eq!(topo, reloaded);
+    println!("description file      = {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Topology-aware mergesort (Section 7.2): real sort on the host plus
+//! the Fig. 9 prediction for every paper platform.
+//!
+//! Run with `cargo run --release --example sorting`.
+
+use std::time::Instant;
+
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+use rand::rngs::SmallRng;
+use rand::{
+    Rng,
+    SeedableRng, //
+};
+
+fn main() {
+    // --- Real sort on the host ------------------------------------------
+    let spec = mcsim::presets::synthetic_small();
+    let mut prober = SimProber::noiseless(&spec);
+    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+    let mut mem = SimEnricher::new(&spec);
+    let mut pow = SimEnricher::new(&spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data: Vec<u32> = (0..4 << 20).map(|_| rng.gen()).collect();
+    println!(
+        "sorting {} integers with {} threads on the host:",
+        data.len(),
+        threads
+    );
+
+    let mut a = data.clone();
+    let t = Instant::now();
+    mctop_sort::baseline_sort(&mut a, threads);
+    println!("  gnu-like baseline : {:?}", t.elapsed());
+
+    let mut b = data.clone();
+    let t = Instant::now();
+    mctop_sort::mctop_sort(&mut b, &topo, threads, 0);
+    println!("  mctop_sort        : {:?}", t.elapsed());
+
+    let mut c = data;
+    let t = Instant::now();
+    mctop_sort::mctop_sort_sse(&mut c, &topo, threads, 0);
+    println!("  mctop_sort_sse    : {:?}", t.elapsed());
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+
+    // --- Fig. 9 prediction over the paper platforms ----------------------
+    use mctop_sort::model::{
+        fig9_column,
+        SortModelCfg, //
+    };
+    println!("\nFig. 9 model (1 GB of integers, 16 threads):");
+    let cfg = SortModelCfg::default();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let mut prober = SimProber::noiseless(&spec);
+        let mut t = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+        let mut mem = SimEnricher::new(&spec);
+        let mut pow = SimEnricher::new(&spec);
+        enrich_all(&mut t, &mut mem, &mut pow).expect("enrichment");
+        let col = fig9_column(&spec, &t, 16, &cfg);
+        let cells: Vec<String> = col
+            .iter()
+            .map(|(a, tt)| format!("{} {:.2}s", a.name(), tt.total()))
+            .collect();
+        println!("  {:<9} {}", spec.name, cells.join("  "));
+    }
+}

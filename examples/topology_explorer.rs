@@ -1,0 +1,36 @@
+//! Explore the MCTOP of any modelled platform: textual rendering plus
+//! the two Graphviz graphs of Figs. 1-3.
+//!
+//! Run with `cargo run --example topology_explorer -- [machine]` where
+//! machine is one of: ivy, opteron, haswell, westmere, sparc,
+//! synth-small, synth-clustered, synth-single, synth-nosmt,
+//! synth-shared-node, synth-scrambled. Default: opteron (Fig. 1).
+
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "opteron".into());
+    let Some(spec) = mcsim::presets::by_name(&name) else {
+        eprintln!("unknown machine '{name}'");
+        std::process::exit(1);
+    };
+
+    let mut prober = SimProber::new(&spec, 1);
+    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+    let mut mem = SimEnricher::new(&spec);
+    let mut pow = SimEnricher::new(&spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+
+    println!("{}", mctop::fmt::text::render(&topo));
+    println!("--- intra-socket graph (socket 0) ---");
+    println!("{}", mctop::fmt::dot::intra_socket(&topo, 0));
+    if topo.num_sockets() > 1 {
+        println!("--- cross-socket graph ---");
+        println!("{}", mctop::fmt::dot::cross_socket(&topo));
+    }
+}

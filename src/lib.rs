@@ -1,0 +1,25 @@
+//! Umbrella crate of the MCTOP reproduction workspace.
+//!
+//! The substance lives in the member crates:
+//!
+//! - [`mcsim`]: simulated multi-core machines (the hardware substrate);
+//! - [`mctop`]: the MCTOP abstraction + MCTOP-ALG inference;
+//! - [`mctop_place`]: the 12 thread-placement policies;
+//! - [`mctop_runtime`]: placement-aware worker pools and work stealing;
+//! - [`mctop_locks`]: spinlocks with educated backoffs (Fig. 8);
+//! - [`mctop_sort`]: topology-aware mergesort (Fig. 9);
+//! - [`mctop_mapred`]: the Metis-like MapReduce study (Figs. 10-11);
+//! - [`mctop_omp`]: the extended-OpenMP study (Fig. 12).
+//!
+//! This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See README.md for the
+//! quickstart and DESIGN.md for the system inventory.
+
+pub use mcsim;
+pub use mctop;
+pub use mctop_locks;
+pub use mctop_mapred;
+pub use mctop_omp;
+pub use mctop_place;
+pub use mctop_runtime;
+pub use mctop_sort;

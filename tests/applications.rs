@@ -1,0 +1,139 @@
+//! Cross-crate integration: the application studies (locks, sort,
+//! MapReduce, OpenMP) running for real over inferred topologies.
+
+use std::sync::Arc;
+
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+
+fn enriched(spec: &mcsim::MachineSpec) -> mctop::Mctop {
+    let mut p = SimProber::noiseless(spec);
+    let cfg = ProbeConfig {
+        reps: 3,
+        ..ProbeConfig::fast()
+    };
+    let mut topo = mctop::infer(&mut p, &cfg).unwrap();
+    let mut mem = SimEnricher::new(spec);
+    let mut pow = SimEnricher::new(spec);
+    enrich_all(&mut topo, &mut mem, &mut pow).unwrap();
+    topo
+}
+
+#[test]
+fn locks_use_topology_quanta_and_stay_correct() {
+    let topo = enriched(&mcsim::presets::synthetic_small());
+    // The educated quantum for the whole machine.
+    let backoff = mctop_locks::BackoffCfg::from_mctop_all(&topo);
+    assert_eq!(backoff.quantum_cycles, 290);
+    for algo in mctop_locks::LockAlgo::ALL {
+        let lock = algo.build(backoff);
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        mctop_locks::raw::with_lock(&*lock, || {
+                            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 4000);
+    }
+}
+
+#[test]
+fn sort_on_inferred_topology_of_each_small_machine() {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let data: Vec<u32> = (0..120_000).map(|_| rng.gen()).collect();
+    for spec in [
+        mcsim::presets::synthetic_small(),
+        mcsim::presets::clustered_l2(),
+    ] {
+        let topo = enriched(&spec);
+        let mut v = data.clone();
+        mctop_sort::mctop_sort(&mut v, &topo, 6, 1);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]), "{}", spec.name);
+        assert_eq!(v.len(), data.len());
+    }
+}
+
+#[test]
+fn mapreduce_results_independent_of_placement_policy() {
+    let topo = enriched(&mcsim::presets::synthetic_small());
+    let text = mctop_mapred::workloads::gen_text(800, 25, 500, 3);
+    let reference = {
+        let place = Placement::new(&topo, Policy::Sequential, PlaceOpts::threads(2)).unwrap();
+        mctop_mapred::engine::run_job(
+            &mctop_mapred::workloads::WordCount,
+            &text,
+            &place,
+            &Default::default(),
+        )
+    };
+    for policy in [Policy::ConHwc, Policy::RrCore, Policy::BalanceCore] {
+        let place = Placement::new(&topo, policy, PlaceOpts::threads(6)).unwrap();
+        let out = mctop_mapred::engine::run_job(
+            &mctop_mapred::workloads::WordCount,
+            &text,
+            &place,
+            &Default::default(),
+        );
+        assert_eq!(out, reference, "{}", policy.name());
+    }
+}
+
+#[test]
+fn omp_kernels_agree_across_policies() {
+    let topo = Arc::new(enriched(&mcsim::presets::synthetic_small()));
+    let g = mctop_omp::graph::Graph::synthetic(2000, 6, 5);
+    let rt = mctop_omp::OmpRuntime::new(Arc::clone(&topo), 4);
+    rt.set_binding_policy(Policy::ConCoreHwc).unwrap();
+    let d1 = mctop_omp::workloads::hop_distance(&rt, &g, 0);
+    rt.set_binding_policy(Policy::BalanceHwc).unwrap();
+    let d2 = mctop_omp::workloads::hop_distance(&rt, &g, 0);
+    assert_eq!(d1, d2);
+    let l1 = mctop_omp::workloads::communities(&rt, &g, 4);
+    rt.set_binding_policy(Policy::RrHwc).unwrap();
+    let l2 = mctop_omp::workloads::communities(&rt, &g, 4);
+    assert_eq!(l1, l2);
+}
+
+#[test]
+fn work_stealing_follows_inferred_latencies() {
+    let topo = enriched(&mcsim::presets::clustered_l2());
+    // Workers: SMT pair of core 0, its L2-cluster partner core, a
+    // far core, a remote socket.
+    let socket0 = topo.socket_get_hwcs(0).to_vec();
+    let remote = topo.socket_get_hwcs(1)[0];
+    let workers = vec![socket0[0], socket0[1], socket0[2], remote];
+    let order = mctop_runtime::StealOrder::compute(&topo, &workers);
+    // Closest victim of worker 0 is whatever has the lowest latency —
+    // must not be the remote socket.
+    assert_ne!(order.victims(0)[0], 3);
+    assert_eq!(*order.victims(0).last().unwrap(), 3);
+}
+
+#[test]
+fn runtime_pool_runs_on_placement_of_inferred_topology() {
+    let topo = Arc::new(enriched(&mcsim::presets::no_smt_small()));
+    let place =
+        Arc::new(Placement::new(&topo, Policy::BalanceCore, PlaceOpts::threads(4)).unwrap());
+    let pool = mctop_runtime::WorkerPool::new(place).without_os_pinning();
+    let sockets = pool.run(|ctx| ctx.socket());
+    // BALANCE over 2 sockets: two workers each.
+    assert_eq!(sockets.iter().filter(|&&s| s == 0).count(), 2);
+    assert_eq!(sockets.iter().filter(|&&s| s == 1).count(), 2);
+}

@@ -1,0 +1,67 @@
+//! Description-file round trips (Section 2: "created once, then used
+//! to load the topology") across every platform, enriched and not.
+
+use mctop::backend::SimProber;
+use mctop::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
+use mctop::ProbeConfig;
+
+#[test]
+fn roundtrip_every_platform_enriched() {
+    let dir = std::env::temp_dir();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let mut topo = mctop::infer(&mut p, &cfg).unwrap();
+        let mut mem = SimEnricher::new(&spec);
+        let mut pow = SimEnricher::new(&spec);
+        enrich_all(&mut topo, &mut mem, &mut pow).unwrap();
+        topo.freq_ghz = Some(spec.freq_ghz);
+
+        let path = dir.join(mctop::desc::default_filename(&format!("it-{}", spec.name)));
+        mctop::desc::save(&topo, &path).unwrap();
+        let loaded = mctop::desc::load(&path).unwrap();
+        assert_eq!(topo, loaded, "{}", spec.name);
+        // The reloaded topology answers queries identically.
+        assert_eq!(loaded.max_latency(), topo.max_latency());
+        assert_eq!(loaded.closest_sockets(0), topo.closest_sockets(0));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn description_is_human_inspectable_json() {
+    let spec = mcsim::presets::synthetic_small();
+    let mut p = SimProber::noiseless(&spec);
+    let cfg = ProbeConfig {
+        reps: 3,
+        ..ProbeConfig::fast()
+    };
+    let topo = mctop::infer(&mut p, &cfg).unwrap();
+    let s = mctop::desc::to_string(&topo).unwrap();
+    // Key structures visible by name.
+    for needle in ["\"sockets\"", "\"levels\"", "\"lat_table\"", "\"version\""] {
+        assert!(s.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn loading_rejects_tampered_hierarchies() {
+    let spec = mcsim::presets::synthetic_small();
+    let mut p = SimProber::noiseless(&spec);
+    let cfg = ProbeConfig {
+        reps: 3,
+        ..ProbeConfig::fast()
+    };
+    let topo = mctop::infer(&mut p, &cfg).unwrap();
+    let s = mctop::desc::to_string(&topo).unwrap();
+    let mut v: serde_json::Value = serde_json::from_str(&s).unwrap();
+    // Move a context into the wrong socket record.
+    v["topology"]["sockets"][0]["hwcs"][0] = serde_json::json!(99);
+    assert!(mctop::desc::from_str(&v.to_string()).is_err());
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: MCTOP-ALG inverts arbitrary machine shapes,
+//! and placements respect their invariants for arbitrary requests.
+
+use proptest::prelude::*;
+
+use mcsim::machine::IntraLevel;
+use mcsim::{
+    Interconnect,
+    MachineSpec, //
+};
+use mctop::backend::SimProber;
+use mctop::ProbeConfig;
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+
+/// A random-but-valid machine spec: 1-4 sockets, 2-6 cores, 1-4 SMT,
+/// one of the numbering schemes.
+fn arb_spec() -> impl Strategy<Value = MachineSpec> {
+    (1usize..=4, 2usize..=6, 1usize..=4, 0u8..=2, any::<u64>()).prop_map(
+        |(sockets, cores, smt, numbering, seed)| {
+            let mut m = mcsim::presets::synthetic_small();
+            m.name = format!("prop-{sockets}x{cores}x{smt}");
+            m.sockets = sockets;
+            m.cores_per_socket = cores;
+            m.smt_per_core = smt;
+            m.smt_latency = if smt > 1 { 30 } else { 0 };
+            m.nodes = sockets;
+            m.intra_levels = vec![IntraLevel {
+                group_cores: cores,
+                latency: 100,
+            }];
+            m.interconnect = Interconnect::full(sockets, 180, 110, 12.0);
+            m.local_node_of_socket = (0..sockets).collect();
+            m.os_node_of_socket = (0..sockets).collect();
+            m.numbering = match numbering {
+                0 => mcsim::Numbering::CoresFirst,
+                1 => mcsim::Numbering::SocketMajor,
+                _ => mcsim::Numbering::Scrambled(seed),
+            };
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inference over a noiseless oracle reconstructs the machine
+    /// exactly, regardless of shape and context numbering.
+    #[test]
+    fn inference_inverts_the_machine(spec in arb_spec()) {
+        spec.check().expect("generated spec is valid");
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig { reps: 3, ..ProbeConfig::fast() };
+        let topo = mctop::infer(&mut p, &cfg).expect("inference");
+        prop_assert_eq!(topo.num_sockets(), spec.sockets);
+        prop_assert_eq!(topo.num_cores(), spec.total_cores());
+        prop_assert_eq!(topo.smt(), spec.smt_per_core);
+        // Latency table is exact.
+        for a in 0..spec.total_hwcs() {
+            for b in 0..spec.total_hwcs() {
+                prop_assert_eq!(topo.get_latency(a, b), spec.true_latency(a, b));
+            }
+        }
+        mctop::alg::validate::validate(&topo).expect("validates");
+    }
+
+    /// Placements never duplicate contexts, never exceed capacity, and
+    /// respect the requested thread count, for any policy and count.
+    #[test]
+    fn placement_invariants(spec in arb_spec(), threads in 1usize..=24, policy_idx in 0usize..12) {
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig { reps: 3, ..ProbeConfig::fast() };
+        let topo = mctop::infer(&mut p, &cfg).expect("inference");
+        let policy = Policy::ALL[policy_idx];
+        let res = Placement::new(&topo, policy, PlaceOpts { n_threads: Some(threads), n_sockets: None });
+        match res {
+            Ok(place) => {
+                prop_assert_eq!(place.order().len(), threads);
+                let mut seen = std::collections::HashSet::new();
+                for &h in place.order() {
+                    prop_assert!(h < topo.num_hwcs());
+                    prop_assert!(seen.insert(h), "duplicate context {}", h);
+                }
+                // Stats are consistent with the order.
+                let s = place.stats();
+                prop_assert_eq!(s.hwc_per_socket.iter().sum::<usize>(), threads);
+            }
+            Err(mctop_place::PlaceError::TooManyThreads { available, .. }) => {
+                prop_assert!(threads > available);
+            }
+            Err(mctop_place::PlaceError::PowerUnavailable) => {
+                prop_assert_eq!(policy, Policy::Power);
+            }
+            Err(mctop_place::PlaceError::BandwidthUnavailable) => {
+                prop_assert_eq!(policy, Policy::RrScale);
+            }
+        }
+    }
+
+    /// The backoff quantum equals the maximum pairwise latency for any
+    /// subset of contexts.
+    #[test]
+    fn backoff_quantum_is_max_latency(spec in arb_spec(), pick in prop::collection::vec(any::<u16>(), 2..6)) {
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig { reps: 3, ..ProbeConfig::fast() };
+        let topo = mctop::infer(&mut p, &cfg).expect("inference");
+        let hwcs: Vec<usize> = pick.iter().map(|&x| x as usize % topo.num_hwcs()).collect();
+        let q = mctop_locks::BackoffCfg::from_mctop(&topo, &hwcs).quantum_cycles;
+        let topo_ref = &topo;
+        let max = hwcs
+            .iter()
+            .flat_map(|&a| hwcs.iter().map(move |&b| topo_ref.get_latency(a, b)))
+            .max()
+            .unwrap();
+        prop_assert_eq!(q, max);
+    }
+
+    /// Sorting via the topology-aware path is always a sorted
+    /// permutation of the input.
+    #[test]
+    fn mctop_sort_is_a_sorting_function(data in prop::collection::vec(any::<u32>(), 0..4000), threads in 1usize..=6) {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = SimProber::noiseless(&spec);
+        let cfg = ProbeConfig { reps: 3, ..ProbeConfig::fast() };
+        let topo = mctop::infer(&mut p, &cfg).expect("inference");
+        let mut v = data.clone();
+        mctop_sort::mctop_sort(&mut v, &topo, threads, 0);
+        let mut expected = data;
+        expected.sort_unstable();
+        prop_assert_eq!(v, expected);
+    }
+}
