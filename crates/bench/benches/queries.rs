@@ -1,0 +1,86 @@
+//! Naive `Mctop` queries vs precomputed `TopoView` lookups on the
+//! largest paper platform (the 512-context SPARC), tracking the speedup
+//! the view layer buys inside placement/merge loops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mctop_bench::enriched_view;
+use std::time::Duration;
+
+fn bench_queries(c: &mut Criterion) {
+    let spec = mcsim::presets::sparc();
+    let view = enriched_view(&spec);
+    let topo = view.topo().clone();
+    let n = topo.num_sockets();
+
+    let mut g = c.benchmark_group("queries");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("closest_sockets/naive", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for s in 0..n {
+                total += topo.closest_sockets(black_box(s)).len();
+            }
+            total
+        })
+    });
+    g.bench_function("closest_sockets/view", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for s in 0..n {
+                total += view.closest_sockets(black_box(s)).len();
+            }
+            total
+        })
+    });
+
+    g.bench_function("socket_latency/naive", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in 0..n {
+                for bb in 0..n {
+                    acc += u64::from(topo.socket_latency(black_box(a), black_box(bb)));
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("socket_latency/view", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in 0..n {
+                for bb in 0..n {
+                    acc += u64::from(view.socket_latency(black_box(a), black_box(bb)));
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("min_latency_pair/naive", |b| {
+        b.iter(|| topo.min_latency_socket_pair())
+    });
+    g.bench_function("min_latency_pair/view", |b| {
+        b.iter(|| view.min_latency_socket_pair())
+    });
+
+    g.bench_function("socket_order/naive", |b| {
+        b.iter(|| topo.socket_order_bandwidth_proximity())
+    });
+    g.bench_function("socket_order/view", |b| {
+        b.iter(|| view.socket_order_bandwidth_proximity().len())
+    });
+
+    let hwcs: Vec<usize> = (0..topo.num_hwcs()).step_by(7).collect();
+    g.bench_function("sockets_used_by/naive", |b| {
+        b.iter(|| topo.sockets_used_by(black_box(&hwcs)))
+    });
+    g.bench_function("sockets_used_by/view", |b| {
+        b.iter(|| view.sockets_used_by(black_box(&hwcs)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

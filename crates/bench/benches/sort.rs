@@ -2,7 +2,7 @@
 //! mctop_sort vs the gnu_parallel-like baseline vs the SSE variant.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use mctop_bench::enriched_topology;
+use mctop_bench::enriched_view;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -11,7 +11,7 @@ fn bench_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     let spec = mcsim::presets::synthetic_small();
-    let topo = enriched_topology(&spec);
+    let view = enriched_view(&spec);
     let mut rng = SmallRng::seed_from_u64(1);
     let data: Vec<u32> = (0..1 << 20).map(|_| rng.gen()).collect();
     let threads = std::thread::available_parallelism()
@@ -28,14 +28,14 @@ fn bench_sort(c: &mut Criterion) {
     g.bench_function("mctop_sort", |b| {
         b.iter_batched(
             || data.clone(),
-            |mut v| mctop_sort::mctop_sort(&mut v, &topo, threads, 0),
+            |mut v| mctop_sort::mctop_sort_with_view(&mut v, &view, threads, 0),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("mctop_sort_sse", |b| {
         b.iter_batched(
             || data.clone(),
-            |mut v| mctop_sort::mctop_sort_sse(&mut v, &topo, threads, 0),
+            |mut v| mctop_sort::mctop_sort_sse_with_view(&mut v, &view, threads, 0),
             BatchSize::LargeInput,
         )
     });

@@ -104,9 +104,9 @@ fn fig6() {
 fn fig7() {
     println!("==== fig7: MCTOP-PLACE CON_HWC, 30 threads, Ivy ====");
     let spec = mcsim::presets::ivy();
-    let topo = enriched_topology(&spec);
-    let place = mctop_place::Placement::new(
-        &topo,
+    let view = mctop_bench::enriched_view(&spec);
+    let place = mctop_place::Placement::with_view(
+        &view,
         mctop_place::Policy::ConHwc,
         mctop_place::PlaceOpts::threads(30),
     )

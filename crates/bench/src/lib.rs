@@ -5,6 +5,7 @@ use mctop::enrich::{
     enrich_all,
     SimEnricher, //
 };
+use mctop::view::TopoView;
 use mctop::Mctop;
 
 /// Infers (noiselessly) and fully enriches the topology of a preset:
@@ -29,6 +30,13 @@ pub fn noisy_topology(spec: &MachineSpec, seed: u64) -> Mctop {
     let mut prober = mctop::backend::SimProber::new(spec, seed);
     let cfg = mctop::ProbeConfig::fast();
     mctop::infer(&mut prober, &cfg).expect("inference succeeds under default noise")
+}
+
+/// [`enriched_topology`] wrapped in a precomputed [`TopoView`] — the
+/// starting point of every placement/merge harness.
+pub fn enriched_view(spec: &MachineSpec) -> TopoView {
+    TopoView::try_new(std::sync::Arc::new(enriched_topology(spec)))
+        .expect("presets have a socket level")
 }
 
 #[cfg(test)]

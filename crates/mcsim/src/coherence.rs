@@ -106,7 +106,7 @@ impl<'m> LineSim<'m> {
                     steps.push("5-inv");
                     steps.push("6-granted");
                     latency = self.core_to_core(req, owner);
-                } else if self.states.iter().any(|&s| s == Mesi::Shared) {
+                } else if self.states.contains(&Mesi::Shared) {
                     // Clean copies elsewhere: fetch one, invalidate all.
                     steps.push("5-invalidate");
                     latency = self.farthest_sharer(req).max(1);
@@ -141,7 +141,7 @@ impl<'m> LineSim<'m> {
                     // Dirty data is written back; both keep Shared.
                     self.states[owner] = Mesi::Shared;
                     self.states[req] = Mesi::Shared;
-                } else if self.states.iter().any(|&s| s == Mesi::Shared) {
+                } else if self.states.contains(&Mesi::Shared) {
                     steps.push("3-share");
                     latency = self.nearest_sharer(req).max(1);
                     self.states[req] = Mesi::Shared;

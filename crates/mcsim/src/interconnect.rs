@@ -124,7 +124,7 @@ impl Interconnect {
                 let Some((w, h)) = best[s] else { continue };
                 for (next, link) in self.neighbors(s) {
                     let cand = (w + link.wire, h + 1);
-                    if best[next].map_or(true, |cur| cand < cur) {
+                    if best[next].is_none_or(|cur| cand < cur) {
                         best[next] = Some(cand);
                         changed = true;
                     }
@@ -176,7 +176,7 @@ impl Interconnect {
                 let Some((w, h, bw)) = best[s] else { continue };
                 for (next, link) in self.neighbors(s) {
                     let cand = (w + link.wire, h + 1, bw.min(link.bandwidth));
-                    if best[next].map_or(true, |cur| (cand.0, cand.1) < (cur.0, cur.1)) {
+                    if best[next].is_none_or(|cur| (cand.0, cand.1) < (cur.0, cur.1)) {
                         best[next] = Some(cand);
                         changed = true;
                     }

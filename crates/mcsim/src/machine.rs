@@ -386,7 +386,7 @@ impl MachineSpec {
             if level.group_cores <= prev_cores {
                 return Err("intra levels must strictly grow".into());
             }
-            if self.cores_per_socket % level.group_cores != 0 {
+            if !self.cores_per_socket.is_multiple_of(level.group_cores) {
                 return Err("intra level size must divide cores_per_socket".into());
             }
             if level.latency <= prev_lat {

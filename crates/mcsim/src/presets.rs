@@ -535,7 +535,7 @@ pub fn single_socket() -> MachineSpec {
             },
             CacheLevel {
                 name: "L2".into(),
-                size: 1 * MB,
+                size: MB,
                 latency: 13,
                 shared_by_cores: 1,
             },

@@ -37,6 +37,14 @@ impl BackoffCfg {
         }
     }
 
+    /// The educated quantum from a prebuilt topology view (what
+    /// placement-backed lock deployments already hold).
+    pub fn from_view(view: &mctop::view::TopoView, hwcs: &[usize]) -> Self {
+        BackoffCfg {
+            quantum_cycles: view.max_latency_between(hwcs),
+        }
+    }
+
     /// Whether backoff is enabled.
     pub fn enabled(&self) -> bool {
         self.quantum_cycles > 0

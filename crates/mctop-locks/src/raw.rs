@@ -199,10 +199,9 @@ mod tests {
 
     fn hammer(lock: Arc<dyn RawLock + Send + Sync>, threads: usize, iters: usize) -> u64 {
         let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let shared = Arc::new(std::cell::UnsafeCell::new(0u64));
-        // SAFETY-free check: use a plain u64 behind the lock via
-        // UnsafeCell wrapped in a NewType that is Sync because access is
-        // serialized by the lock under test.
+        // Use a plain u64 behind the lock via UnsafeCell wrapped in a
+        // newtype that is Sync because access is serialized by the lock
+        // under test.
         struct Slot(std::cell::UnsafeCell<u64>);
         // SAFETY: all accesses to the inner value happen inside
         // lock()/unlock() critical sections of the lock under test; the
@@ -210,7 +209,6 @@ mod tests {
         // updates) if mutual exclusion were broken.
         unsafe impl Sync for Slot {}
         let slot = Arc::new(Slot(std::cell::UnsafeCell::new(0)));
-        let _ = shared;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let lock = Arc::clone(&lock);

@@ -33,16 +33,10 @@ pub trait MapReduce: Sync {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct EngineCfg {
     /// Reduce partitions (defaults to 4x workers).
     pub partitions: Option<usize>,
-}
-
-impl Default for EngineCfg {
-    fn default() -> Self {
-        EngineCfg { partitions: None }
-    }
 }
 
 fn partition_of<K: Hash>(key: &K, n: usize) -> usize {
@@ -50,6 +44,9 @@ fn partition_of<K: Hash>(key: &K, n: usize) -> usize {
     key.hash(&mut h);
     (h.finish() as usize) % n
 }
+
+/// One worker's map output: a hash table per shuffle partition.
+type PartitionedTable<J> = Vec<HashMap<<J as MapReduce>::K, Vec<<J as MapReduce>::V>>>;
 
 /// Runs a job over `items` with one worker per placement slot; returns
 /// `(key, out)` pairs sorted by key.
@@ -64,7 +61,7 @@ pub fn run_job<J: MapReduce>(
 
     // --- Map phase: one partitioned table per worker -------------------
     let chunk = items.len().div_ceil(workers).max(1);
-    let mut tables: Vec<Vec<HashMap<J::K, Vec<J::V>>>> = Vec::with_capacity(workers);
+    let mut tables: Vec<PartitionedTable<J>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -91,8 +88,7 @@ pub fn run_job<J: MapReduce>(
     });
 
     // --- Shuffle: regroup by partition ----------------------------------
-    let mut per_partition: Vec<Vec<HashMap<J::K, Vec<J::V>>>> =
-        (0..partitions).map(|_| Vec::new()).collect();
+    let mut per_partition: Vec<PartitionedTable<J>> = (0..partitions).map(|_| Vec::new()).collect();
     for worker_tables in tables {
         for (p, table) in worker_tables.into_iter().enumerate() {
             per_partition[p].push(table);
@@ -103,9 +99,8 @@ pub fn run_job<J: MapReduce>(
     let mut results: Vec<Vec<(J::K, J::Out)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut partition_iter = per_partition.into_iter().collect::<Vec<_>>();
-        let per_worker = partition_iter.len().div_ceil(workers).max(1);
-        let mut rest = partition_iter.drain(..).collect::<Vec<_>>();
+        let per_worker = per_partition.len().div_ceil(workers).max(1);
+        let mut rest = per_partition;
         while !rest.is_empty() {
             let take = per_worker.min(rest.len());
             let batch: Vec<_> = rest.drain(..take).collect();

@@ -19,7 +19,10 @@
 //! numbering makes SEQUENTIAL stack eight SMT contexts per core, which
 //! is why the paper's biggest wins are there.
 
+use std::sync::Arc;
+
 use mcsim::MachineSpec;
+use mctop::view::TopoView;
 use mctop::Mctop;
 use mctop_place::{
     PlaceOpts,
@@ -157,18 +160,29 @@ pub fn best_time(
     policy: Policy,
     p: &Profile,
 ) -> (f64, Placement) {
-    let total = topo.num_hwcs();
-    let cores = topo.num_cores();
+    best_time_view(spec, &TopoView::new(Arc::new(topo.clone())), policy, p)
+}
+
+/// [`best_time`] over a prebuilt topology view (one view serves every
+/// thread-count candidate and every workload of a platform sweep).
+pub fn best_time_view(
+    spec: &MachineSpec,
+    view: &TopoView,
+    policy: Policy,
+    p: &Profile,
+) -> (f64, Placement) {
+    let total = view.num_hwcs();
+    let cores = view.num_cores();
     let mut candidates = vec![cores / 2, cores, (cores + total) / 2, total];
     candidates.retain(|&c| c >= 1 && c <= total);
     candidates.dedup();
     let mut best: Option<(f64, Placement)> = None;
     for threads in candidates {
-        let Ok(place) = Placement::new(topo, policy, PlaceOpts::threads(threads)) else {
+        let Ok(place) = Placement::with_view(view, policy, PlaceOpts::threads(threads)) else {
             continue;
         };
-        let t = exec_time(spec, topo, &place, p);
-        if best.as_ref().map_or(true, |(bt, _)| t < *bt) {
+        let t = exec_time(spec, view, &place, p);
+        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
             best = Some((t, place));
         }
     }
@@ -194,6 +208,7 @@ pub struct Fig10Bar {
 
 /// Computes the Fig. 10 bars for one platform.
 pub fn fig10_platform(spec: &MachineSpec, topo: &Mctop) -> Vec<Fig10Bar> {
+    let view = TopoView::new(Arc::new(topo.clone()));
     fig10_profiles()
         .into_iter()
         .map(|mut p| {
@@ -201,8 +216,8 @@ pub fn fig10_platform(spec: &MachineSpec, topo: &Mctop) -> Vec<Fig10Bar> {
             if spec.name == "sparc" && p.name == "Word Count" {
                 p.policy = Policy::ConCore;
             }
-            let (t_base, place_base) = best_time(spec, topo, Policy::Sequential, &p);
-            let (t_mctop, place_mctop) = best_time(spec, topo, p.policy, &p);
+            let (t_base, place_base) = best_time_view(spec, &view, Policy::Sequential, &p);
+            let (t_mctop, place_mctop) = best_time_view(spec, &view, p.policy, &p);
             let rel_energy = match topo.power {
                 Some(_) => {
                     let e_base = execution_energy(topo, place_base.order(), t_base, true).unwrap();
@@ -224,20 +239,21 @@ pub fn fig10_platform(spec: &MachineSpec, topo: &Mctop) -> Vec<Fig10Bar> {
 }
 
 /// Best placement by *energy* under the POWER policy.
-fn best_energy(spec: &MachineSpec, topo: &Mctop, p: &Profile) -> (f64, Placement) {
-    let total = topo.num_hwcs();
-    let cores = topo.num_cores();
+fn best_energy(spec: &MachineSpec, view: &TopoView, p: &Profile) -> (f64, Placement) {
+    let total = view.num_hwcs();
+    let cores = view.num_cores();
     let mut candidates = vec![cores / 2, cores, (cores + total) / 2, total];
     candidates.retain(|&c| c >= 1 && c <= total);
     candidates.dedup();
     let mut best: Option<(f64, f64, Placement)> = None;
     for threads in candidates {
-        let Ok(place) = Placement::new(topo, Policy::Power, PlaceOpts::threads(threads)) else {
+        let Ok(place) = Placement::with_view(view, Policy::Power, PlaceOpts::threads(threads))
+        else {
             continue;
         };
-        let t = exec_time(spec, topo, &place, p);
-        let e = execution_energy(topo, place.order(), t, true).expect("power measured");
-        if best.as_ref().map_or(true, |(be, _, _)| e < *be) {
+        let t = exec_time(spec, view, &place, p);
+        let e = execution_energy(view, place.order(), t, true).expect("power measured");
+        if best.as_ref().is_none_or(|(be, _, _)| e < *be) {
             best = Some((e, t, place));
         }
     }
@@ -262,15 +278,16 @@ pub struct Fig11Row {
 /// Computes Fig. 11 (energy-oriented placement on an Intel platform).
 pub fn fig11(spec: &MachineSpec, topo: &Mctop) -> Vec<Fig11Row> {
     assert!(topo.power.is_some(), "Fig. 11 requires power measurements");
+    let view = TopoView::new(Arc::new(topo.clone()));
     fig10_profiles()
         .into_iter()
         .filter(|p| p.name == "K-Means" || p.name == "Mean")
         .map(|p| {
-            let (t_perf, place_perf) = best_time(spec, topo, p.policy, &p);
+            let (t_perf, place_perf) = best_time_view(spec, &view, p.policy, &p);
             // The energy-oriented run picks the POWER placement that
             // minimizes *energy* (the paper trades performance by
             // "using fewer physical cores").
-            let (t_pow, place_pow) = best_energy(spec, topo, &p);
+            let (t_pow, place_pow) = best_energy(spec, &view, &p);
             let e_perf = execution_energy(topo, place_perf.order(), t_perf, true).unwrap();
             let e_pow = execution_energy(topo, place_pow.order(), t_pow, true).unwrap();
             let time = t_pow / t_perf;

@@ -248,9 +248,9 @@ mod tests {
                 .map(|(v, r)| r / g.degree(v).max(1) as f64)
                 .collect();
             let mut next = vec![0.15 / n as f64; n];
-            for v in 0..n {
+            for (v, &c) in contrib.iter().enumerate() {
                 for &d in g.neighbors(v) {
-                    next[d as usize] += 0.85 * contrib[v];
+                    next[d as usize] += 0.85 * c;
                 }
             }
             ranks = next;

@@ -1,10 +1,17 @@
 //! Placement computation, statistics and the pin/unpin interface.
+//!
+//! All placement math runs over a [`TopoView`]: the policy orders,
+//! per-socket hand-out lists and socket walks are precomputed once per
+//! topology instead of re-derived from the model arenas inside every
+//! placement construction.
 
 use std::sync::atomic::{
     AtomicBool,
     Ordering, //
 };
+use std::sync::Arc;
 
+use mctop::view::TopoView;
 use mctop::Mctop;
 
 use crate::policy::Policy;
@@ -140,9 +147,21 @@ pub struct PlaceStats {
 }
 
 impl Placement {
-    /// Computes a placement over `topo`.
+    /// Computes a placement over `topo`, building a throwaway
+    /// [`TopoView`] first. When placing repeatedly over one topology
+    /// (pools, phase switching), build the view once and use
+    /// [`Placement::with_view`].
     pub fn new(topo: &Mctop, policy: Policy, opts: PlaceOpts) -> Result<Placement, PlaceError> {
-        let full_order = policy_order(topo, policy, opts.n_sockets)?;
+        Self::with_view(&TopoView::new(Arc::new(topo.clone())), policy, opts)
+    }
+
+    /// Computes a placement over a prebuilt topology view.
+    pub fn with_view(
+        view: &TopoView,
+        policy: Policy,
+        opts: PlaceOpts,
+    ) -> Result<Placement, PlaceError> {
+        let full_order = policy_order(view, policy, opts.n_sockets)?;
         let available = full_order.len();
         let n = opts.n_threads.unwrap_or(available);
         if n > available {
@@ -156,33 +175,33 @@ impl Placement {
         // Per-socket bookkeeping in socket-first-use order.
         let mut sockets: Vec<usize> = Vec::new();
         for &h in &order {
-            let s = topo.socket_of(h);
+            let s = view.socket_of(h);
             if !sockets.contains(&s) {
                 sockets.push(s);
             }
         }
-        let mut socket_pos = vec![0usize; topo.num_sockets()];
+        let mut socket_pos = vec![0usize; view.num_sockets()];
         let handles: Vec<PinHandle> = order
             .iter()
             .enumerate()
             .map(|(slot, &h)| {
-                let ctx = &topo.hwcs[h];
-                let pos = socket_pos[ctx.socket];
-                socket_pos[ctx.socket] += 1;
+                let socket = view.socket_of(h);
+                let pos = socket_pos[socket];
+                socket_pos[socket] += 1;
                 PinHandle {
                     slot,
                     hwc: h,
-                    socket: ctx.socket,
-                    local_node: topo.get_local_node(h),
-                    core: ctx.core,
+                    socket,
+                    local_node: view.node_of(h),
+                    core: view.core_of(h),
                     hwc_in_socket: pos,
                 }
             })
             .collect();
 
-        let max_latency = topo.max_latency_between(&order);
-        let min_bandwidth = topo.min_bandwidth_of(&order);
-        let stats = build_stats(topo, policy, &order, &sockets, max_latency, min_bandwidth);
+        let max_latency = view.max_latency_between(&order);
+        let min_bandwidth = view.min_bandwidth_of(&order);
+        let stats = build_stats(view, policy, &order, &sockets, max_latency, min_bandwidth);
         let used = order.iter().map(|_| AtomicBool::new(false)).collect();
         Ok(Placement {
             policy,
@@ -319,27 +338,27 @@ impl PlaceStats {
 }
 
 fn build_stats(
-    topo: &Mctop,
+    view: &TopoView,
     policy: Policy,
     order: &[usize],
     sockets: &[usize],
     max_latency: u32,
     min_bandwidth: Option<f64>,
 ) -> PlaceStats {
-    let mut cores: Vec<usize> = order.iter().map(|&h| topo.hwcs[h].core).collect();
+    let mut cores: Vec<usize> = order.iter().map(|&h| view.core_of(h)).collect();
     cores.sort_unstable();
     cores.dedup();
     let hwc_per_socket: Vec<usize> = sockets
         .iter()
-        .map(|&s| order.iter().filter(|&&h| topo.socket_of(h) == s).count())
+        .map(|&s| order.iter().filter(|&&h| view.socket_of(h) == s).count())
         .collect();
     let cores_per_socket: Vec<usize> = sockets
         .iter()
         .map(|&s| {
             let mut c: Vec<usize> = order
                 .iter()
-                .filter(|&&h| topo.socket_of(h) == s)
-                .map(|&h| topo.hwcs[h].core)
+                .filter(|&&h| view.socket_of(h) == s)
+                .map(|&h| view.core_of(h))
                 .collect();
             c.sort_unstable();
             c.dedup();
@@ -351,7 +370,7 @@ fn build_stats(
         .iter()
         .map(|&c| c as f64 / total as f64)
         .collect();
-    let (pow_no_dram, pow_with_dram) = match &topo.power {
+    let (pow_no_dram, pow_with_dram) = match &view.power {
         Some(p) => {
             let per_socket = |with_dram: bool| -> Vec<f64> {
                 sockets
@@ -360,12 +379,12 @@ fn build_stats(
                         let on_socket: Vec<usize> = order
                             .iter()
                             .copied()
-                            .filter(|&h| topo.socket_of(h) == s)
+                            .filter(|&h| view.socket_of(h) == s)
                             .collect();
                         // Per-socket power: subtract the other sockets'
                         // idle base from the machine estimate.
-                        p.estimate(topo, &on_socket, with_dram)
-                            - (topo.num_sockets() - 1) as f64 * p.socket_base_w
+                        p.estimate(view, &on_socket, with_dram)
+                            - (view.num_sockets() - 1) as f64 * p.socket_base_w
                     })
                     .collect()
             };
@@ -389,35 +408,36 @@ fn build_stats(
 }
 
 /// Computes the full hand-out order of a policy (before truncation to
-/// the requested thread count).
+/// the requested thread count). Every per-socket order and the socket
+/// walk itself are borrowed from the view's caches.
 fn policy_order(
-    topo: &Mctop,
+    view: &TopoView,
     policy: Policy,
     n_sockets: Option<usize>,
 ) -> Result<Vec<usize>, PlaceError> {
-    let all: Vec<usize> = (0..topo.num_hwcs()).collect();
-    let mut socket_order = topo.socket_order_bandwidth_proximity();
+    let all: Vec<usize> = (0..view.num_hwcs()).collect();
+    let mut socket_order: &[usize] = view.socket_order_bandwidth_proximity();
     if let Some(k) = n_sockets {
-        socket_order.truncate(k.max(1));
+        socket_order = &socket_order[..k.max(1).min(socket_order.len())];
     }
     let order = match policy {
         Policy::None | Policy::Sequential => all,
         Policy::ConHwc => socket_order
             .iter()
-            .flat_map(|&s| topo.socket_hwcs_compact(s))
+            .flat_map(|&s| view.socket_hwcs_compact(s).iter().copied())
             .collect(),
         Policy::ConCoreHwc => socket_order
             .iter()
-            .flat_map(|&s| topo.socket_hwcs_cores_first(s))
+            .flat_map(|&s| view.socket_hwcs_cores_first(s).iter().copied())
             .collect(),
         Policy::ConCore => {
             // All unique cores of all used sockets, then second+
             // contexts.
             let mut out = Vec::new();
-            for round in 0..topo.smt() {
-                for &s in &socket_order {
-                    for &cg in &topo.sockets[s].cores {
-                        if let Some(&h) = topo.groups[cg].hwcs.get(round) {
+            for round in 0..view.smt() {
+                for &s in socket_order {
+                    for &cg in &view.sockets[s].cores {
+                        if let Some(&h) = view.groups[cg].hwcs.get(round) {
                             out.push(h);
                         }
                     }
@@ -428,33 +448,34 @@ fn policy_order(
         Policy::BalanceHwc | Policy::BalanceCoreHwc | Policy::BalanceCore => {
             // Balanced: interleave sockets so that any prefix of the
             // order is (near-)evenly spread across the used sockets.
-            let per_socket: Vec<Vec<usize>> = socket_order
+            let per_socket: Vec<&[usize]> = socket_order
                 .iter()
                 .map(|&s| match policy {
-                    Policy::BalanceHwc => topo.socket_hwcs_compact(s),
-                    _ => topo.socket_hwcs_cores_first(s),
+                    Policy::BalanceHwc => view.socket_hwcs_compact(s),
+                    _ => view.socket_hwcs_cores_first(s),
                 })
                 .collect();
-            round_robin(per_socket, usize::MAX)
+            round_robin(&per_socket)
         }
         Policy::RrCore => {
-            let per_socket: Vec<Vec<usize>> = socket_order
+            let per_socket: Vec<&[usize]> = socket_order
                 .iter()
-                .map(|&s| topo.socket_hwcs_cores_first(s))
+                .map(|&s| view.socket_hwcs_cores_first(s))
                 .collect();
-            round_robin(per_socket, usize::MAX)
+            round_robin(&per_socket)
         }
         Policy::RrHwc => {
-            let per_socket: Vec<Vec<usize>> = socket_order
+            let per_socket: Vec<&[usize]> = socket_order
                 .iter()
-                .map(|&s| topo.socket_hwcs_compact(s))
+                .map(|&s| view.socket_hwcs_compact(s))
                 .collect();
-            round_robin(per_socket, usize::MAX)
+            round_robin(&per_socket)
         }
         Policy::Power => {
-            let power = topo.power.as_ref().ok_or(PlaceError::PowerUnavailable)?;
+            let power = view.power.as_ref().ok_or(PlaceError::PowerUnavailable)?;
             // Greedy: repeatedly add the context with the smallest
             // marginal power (ties toward lower OS ids).
+            let topo: &Mctop = view;
             let mut chosen: Vec<usize> = Vec::new();
             let mut remaining: Vec<usize> = all;
             while !remaining.is_empty() {
@@ -478,9 +499,8 @@ fn policy_order(
             let caps: Vec<usize> = socket_order
                 .iter()
                 .map(|&s| {
-                    let sock = &topo.sockets[s];
-                    let local = sock.local_bandwidth();
-                    let single = sock.single_core_bw;
+                    let local = view.local_bandwidth(s);
+                    let single = view.sockets[s].single_core_bw;
                     match (local, single) {
                         (Some(bw), Some(one)) if one > 0.0 => {
                             Ok(((bw / one).ceil() as usize).max(1))
@@ -489,43 +509,34 @@ fn policy_order(
                     }
                 })
                 .collect::<Result<_, _>>()?;
-            let per_socket: Vec<Vec<usize>> = socket_order
+            let per_socket: Vec<&[usize]> = socket_order
                 .iter()
                 .zip(&caps)
                 .map(|(&s, &cap)| {
-                    topo.socket_hwcs_cores_first(s)
-                        .into_iter()
-                        .take(cap)
-                        .collect()
+                    let hwcs = view.socket_hwcs_cores_first(s);
+                    &hwcs[..cap.min(hwcs.len())]
                 })
                 .collect();
-            round_robin(per_socket, usize::MAX)
+            round_robin(&per_socket)
         }
     };
     Ok(order)
 }
 
-/// Interleaves per-socket lists round-robin, up to `limit` entries.
-fn round_robin(mut lists: Vec<Vec<usize>>, limit: usize) -> Vec<usize> {
-    for l in lists.iter_mut() {
-        l.reverse(); // Pop from the back.
-    }
-    let mut out = Vec::new();
-    loop {
-        let mut any = false;
-        for l in lists.iter_mut() {
-            if let Some(h) = l.pop() {
+/// Interleaves per-socket lists round-robin.
+fn round_robin(lists: &[&[usize]]) -> Vec<usize> {
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = 0;
+    while out.len() < total {
+        for l in lists {
+            if let Some(&h) = l.get(idx) {
                 out.push(h);
-                any = true;
-                if out.len() >= limit {
-                    return out;
-                }
             }
         }
-        if !any {
-            return out;
-        }
+        idx += 1;
     }
+    out
 }
 
 /// Pins the calling OS thread to a CPU (Linux). On other platforms this

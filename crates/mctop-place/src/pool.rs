@@ -6,6 +6,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use mctop::view::TopoView;
 use mctop::Mctop;
 use parking_lot::RwLock;
 
@@ -18,11 +19,13 @@ use crate::policy::Policy;
 
 /// A pool of placements over one topology, keyed by policy.
 ///
-/// Placements are built lazily and cached; [`PlacePool::select`] makes a
-/// policy current, and [`PlacePool::current`] hands the active placement
-/// to workers.
+/// The pool builds one [`TopoView`] up front; every placement (and
+/// every policy switch) is then computed from the view's precomputed
+/// indexes. Placements are built lazily and cached;
+/// [`PlacePool::select`] makes a policy current, and
+/// [`PlacePool::current`] hands the active placement to workers.
 pub struct PlacePool {
-    topo: Arc<Mctop>,
+    view: TopoView,
     opts: PlaceOpts,
     cache: RwLock<BTreeMap<Policy, Arc<Placement>>>,
     current: RwLock<Policy>,
@@ -31,8 +34,13 @@ pub struct PlacePool {
 impl PlacePool {
     /// A pool over `topo` with shared placement options.
     pub fn new(topo: Arc<Mctop>, opts: PlaceOpts) -> Self {
+        Self::with_view(TopoView::new(topo), opts)
+    }
+
+    /// A pool over a prebuilt topology view.
+    pub fn with_view(view: TopoView, opts: PlaceOpts) -> Self {
         PlacePool {
-            topo,
+            view,
             opts,
             cache: RwLock::new(BTreeMap::new()),
             current: RwLock::new(Policy::None),
@@ -41,7 +49,12 @@ impl PlacePool {
 
     /// The topology the pool was built over.
     pub fn topology(&self) -> &Arc<Mctop> {
-        &self.topo
+        self.view.topo()
+    }
+
+    /// The precomputed view the pool places over.
+    pub fn view(&self) -> &TopoView {
+        &self.view
     }
 
     /// Returns the placement for a policy, building it on first use.
@@ -49,7 +62,7 @@ impl PlacePool {
         if let Some(p) = self.cache.read().get(&policy) {
             return Ok(Arc::clone(p));
         }
-        let built = Arc::new(Placement::new(&self.topo, policy, self.opts)?);
+        let built = Arc::new(Placement::with_view(&self.view, policy, self.opts)?);
         let mut w = self.cache.write();
         Ok(Arc::clone(w.entry(policy).or_insert(built)))
     }

@@ -24,6 +24,7 @@ pub use pool::{
 };
 pub use steal::{
     steal_queues,
+    steal_queues_with_view,
     StealOrder,
     StealPool, //
 };

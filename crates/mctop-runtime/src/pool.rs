@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn borrowed_state_is_visible() {
         let pool = WorkerPool::new(placement(4, Policy::BalanceHwc)).without_os_pinning();
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sums = pool.run(|ctx| data[ctx.id]);
         assert_eq!(sums.iter().sum::<u64>(), 10);
     }

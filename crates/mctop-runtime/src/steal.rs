@@ -12,6 +12,7 @@ use crossbeam_deque::{
     Stealer,
     Worker as Deque, //
 };
+use mctop::view::TopoView;
 use mctop::Mctop;
 
 /// Per-worker victim orders derived from communication latencies.
@@ -25,12 +26,22 @@ impl StealOrder {
     /// contexts: for worker `i`, other workers sorted by
     /// `latency(hwc_i, hwc_j)` ascending (ties toward lower worker id).
     pub fn compute(topo: &Mctop, hwcs: &[usize]) -> Self {
+        Self::orders_from(|a, b| topo.get_latency(a, b), hwcs)
+    }
+
+    /// Like [`StealOrder::compute`], over a prebuilt topology view
+    /// (what placement-backed pools already hold).
+    pub fn with_view(view: &TopoView, hwcs: &[usize]) -> Self {
+        Self::orders_from(|a, b| view.get_latency(a, b), hwcs)
+    }
+
+    fn orders_from(latency: impl Fn(usize, usize) -> u32, hwcs: &[usize]) -> Self {
         let orders = hwcs
             .iter()
             .enumerate()
             .map(|(i, &a)| {
                 let mut victims: Vec<usize> = (0..hwcs.len()).filter(|&j| j != i).collect();
-                victims.sort_by_key(|&j| (topo.get_latency(a, hwcs[j]), j));
+                victims.sort_by_key(|&j| (latency(a, hwcs[j]), j));
                 victims
             })
             .collect();
@@ -105,7 +116,15 @@ impl<T> StealPool<T> {
 /// Builds one [`StealPool`] handle per worker, with victim orders from
 /// the topology.
 pub fn steal_queues<T>(topo: &Mctop, hwcs: &[usize]) -> Vec<StealPool<T>> {
-    let order = StealOrder::compute(topo, hwcs);
+    queues_with_order(StealOrder::compute(topo, hwcs), hwcs)
+}
+
+/// Like [`steal_queues`], over a prebuilt topology view.
+pub fn steal_queues_with_view<T>(view: &TopoView, hwcs: &[usize]) -> Vec<StealPool<T>> {
+    queues_with_order(StealOrder::with_view(view, hwcs), hwcs)
+}
+
+fn queues_with_order<T>(order: StealOrder, hwcs: &[usize]) -> Vec<StealPool<T>> {
     let deques: Vec<Deque<T>> = hwcs.iter().map(|_| Deque::new_fifo()).collect();
     let stealers: Vec<Stealer<T>> = deques.iter().map(|d| d.stealer()).collect();
     deques
@@ -146,6 +165,19 @@ mod tests {
         // Worker 3 (remote socket) sees all others at the same
         // cross-socket latency: tie-break by worker id.
         assert_eq!(order.victims(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn view_based_queues_share_the_naive_victim_orders() {
+        let t = topo();
+        let workers = [0usize, 8, 1, 4];
+        let naive = StealOrder::compute(&t, &workers);
+        let view = TopoView::new(std::sync::Arc::new(t));
+        assert_eq!(StealOrder::with_view(&view, &workers), naive);
+        let queues: Vec<StealPool<u8>> = steal_queues_with_view(&view, &workers);
+        queues[1].push(9);
+        // Worker 0 steals from its SMT sibling (worker 1) first.
+        assert_eq!(queues[0].next(), Some((9, Source::Stolen(1))));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! the maximum-bandwidth tree, and the SSE kernel cuts the CPU term.
 
 use mcsim::MachineSpec;
+use mctop::view::TopoView;
 use mctop::Mctop;
 
 use crate::tree::MergeTree;
@@ -86,10 +87,24 @@ impl SortTime {
     }
 }
 
-/// Predicts one bar of Fig. 9.
+/// Predicts one bar of Fig. 9 from a bare topology (builds a throwaway
+/// [`TopoView`]; use [`predict_with_view`] when predicting several bars
+/// over the same machine).
 pub fn predict(
     spec: &MachineSpec,
     topo: &Mctop,
+    algo: SortAlgo,
+    n_threads: usize,
+    cfg: &SortModelCfg,
+) -> SortTime {
+    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
+    predict_with_view(spec, &view, algo, n_threads, cfg)
+}
+
+/// Predicts one bar of Fig. 9 over a prebuilt topology view.
+pub fn predict_with_view(
+    spec: &MachineSpec,
+    topo: &TopoView,
     algo: SortAlgo,
     n_threads: usize,
     cfg: &SortModelCfg,
@@ -205,13 +220,14 @@ pub fn fig9_column(
     n_threads: usize,
     cfg: &SortModelCfg,
 ) -> Vec<(SortAlgo, SortTime)> {
+    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
     let mut algos = vec![SortAlgo::Gnu, SortAlgo::Mctop];
     if spec.name != "sparc" {
         algos.push(SortAlgo::MctopSse);
     }
     algos
         .into_iter()
-        .map(|a| (a, predict(spec, topo, a, n_threads, cfg)))
+        .map(|a| (a, predict_with_view(spec, &view, a, n_threads, cfg)))
         .collect()
 }
 

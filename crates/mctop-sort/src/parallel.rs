@@ -4,6 +4,7 @@
 //! per-platform performance claims of Fig. 9 come from
 //! [`crate::model`] over the simulated machines.
 
+use mctop::view::TopoView;
 use mctop::Mctop;
 use mctop_place::{
     PlaceOpts,
@@ -32,16 +33,40 @@ enum Kernel {
 /// merged along the bandwidth-maximizing cross-socket tree, rooted at
 /// socket `dest`.
 pub fn mctop_sort(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize) {
-    sort_impl(data, topo, n_threads, dest, Kernel::Scalar);
+    if data.len() < 2 {
+        return;
+    }
+    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
+    sort_impl(data, &view, n_threads, dest, Kernel::Scalar);
 }
 
 /// `mctop_sort` with the bitonic (SIMD-style) merge kernel for the
 /// cross-socket merges.
 pub fn mctop_sort_sse(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize) {
-    sort_impl(data, topo, n_threads, dest, Kernel::Bitonic);
+    if data.len() < 2 {
+        return;
+    }
+    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
+    sort_impl(data, &view, n_threads, dest, Kernel::Bitonic);
 }
 
-fn sort_impl(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize, kernel: Kernel) {
+/// [`mctop_sort`] over a prebuilt topology view — the repeated-sort
+/// path (no per-call topology clone or view construction).
+pub fn mctop_sort_with_view(data: &mut Vec<u32>, view: &TopoView, n_threads: usize, dest: usize) {
+    sort_impl(data, view, n_threads, dest, Kernel::Scalar);
+}
+
+/// [`mctop_sort_sse`] over a prebuilt topology view.
+pub fn mctop_sort_sse_with_view(
+    data: &mut Vec<u32>,
+    view: &TopoView,
+    n_threads: usize,
+    dest: usize,
+) {
+    sort_impl(data, view, n_threads, dest, Kernel::Bitonic);
+}
+
+fn sort_impl(data: &mut Vec<u32>, topo: &TopoView, n_threads: usize, dest: usize, kernel: Kernel) {
     let n = data.len();
     if n < 2 {
         return;
@@ -49,7 +74,7 @@ fn sort_impl(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usize, k
     let n_threads = n_threads.clamp(1, topo.num_hwcs());
     // Spread threads across sockets (RR policy, as the paper does, "in
     // order to benefit from the large LLCs of each socket").
-    let placement = Placement::new(topo, Policy::RrCore, PlaceOpts::threads(n_threads))
+    let placement = Placement::with_view(topo, Policy::RrCore, PlaceOpts::threads(n_threads))
         .expect("RR placement always succeeds");
 
     // --- Phase 1: parallel chunk quicksort -----------------------------

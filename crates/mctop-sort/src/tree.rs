@@ -4,7 +4,7 @@
 //! (ii) at each level, sockets are paired to maximize the bandwidth to
 //! the data being merged.
 
-use mctop::Mctop;
+use mctop::view::TopoView;
 
 /// One merge step: the runs held by `src` and `dst` are merged, the
 /// result lives on `dst`.
@@ -40,16 +40,16 @@ impl MergeTree {
     /// # Panics
     ///
     /// Panics if `dest` is not among `sockets` or `sockets` is empty.
-    pub fn build(topo: &Mctop, sockets: &[usize], dest: usize) -> MergeTree {
+    pub fn build(view: &TopoView, sockets: &[usize], dest: usize) -> MergeTree {
         assert!(!sockets.is_empty(), "no sockets to merge");
         assert!(sockets.contains(&dest), "destination must participate");
         let bw = |a: usize, b: usize| -> f64 {
             if a == b {
-                return topo.sockets[a].local_bandwidth().unwrap_or(1.0);
+                return view.local_bandwidth(a).unwrap_or(1.0);
             }
-            topo.cross_bandwidth(a, b).unwrap_or_else(|| {
+            view.cross_bandwidth(a, b).unwrap_or_else(|| {
                 // Unenriched topologies: prefer low latency.
-                let lat = topo.socket_latency(a, b).max(1);
+                let lat = view.socket_latency(a, b).max(1);
                 1e6 / lat as f64
             })
         };
@@ -65,7 +65,7 @@ impl MergeTree {
                 for (x, &a) in unmatched.iter().enumerate() {
                     for &b in unmatched.iter().skip(x + 1) {
                         let w = bw(a, b);
-                        if best.map_or(true, |(bw0, _, _)| w > bw0) {
+                        if best.is_none_or(|(bw0, _, _)| w > bw0) {
                             best = Some((w, a, b));
                         }
                     }
@@ -112,7 +112,7 @@ mod tests {
         SimEnricher, //
     };
 
-    fn topo(spec: &mcsim::MachineSpec) -> Mctop {
+    fn topo(spec: &mcsim::MachineSpec) -> TopoView {
         let mut p = mctop::backend::SimProber::noiseless(spec);
         let cfg = mctop::ProbeConfig {
             reps: 3,
@@ -122,7 +122,7 @@ mod tests {
         let mut e = SimEnricher::new(spec);
         let mut pw = SimEnricher::new(spec);
         enrich_all(&mut t, &mut e, &mut pw).unwrap();
-        t
+        TopoView::build(&t).unwrap()
     }
 
     #[test]

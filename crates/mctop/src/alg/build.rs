@@ -40,7 +40,11 @@ pub fn assemble(
     let n_nodes = n_nodes.max(1);
 
     // --- Socket level -------------------------------------------------
-    let quota = if n % n_nodes == 0 { n / n_nodes } else { 0 };
+    let quota = if n.is_multiple_of(n_nodes) {
+        n / n_nodes
+    } else {
+        0
+    };
     let socket_level = find_socket_level(hier, n, quota)?;
     let socket_comps: Vec<Vec<usize>> = match socket_level {
         SocketLevel::Hier(idx) => hier.levels[idx].comps.clone(),
@@ -366,10 +370,12 @@ fn find_socket_level(hier: &Hierarchy, n: usize, quota: usize) -> Result<SocketL
         let mut best: Option<(usize, usize)> = None; // (size, idx)
         for (idx, lvl) in hier.levels.iter().enumerate() {
             let size = lvl.comps[0].len();
-            if size <= quota && quota % size == 0 && size < n {
-                if best.map_or(true, |(bs, _)| size > bs) {
-                    best = Some((size, idx));
-                }
+            if size <= quota
+                && quota.is_multiple_of(size)
+                && size < n
+                && best.is_none_or(|(bs, _)| size > bs)
+            {
+                best = Some((size, idx));
             }
         }
         if let Some((_, idx)) = best {

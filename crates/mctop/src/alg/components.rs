@@ -66,7 +66,7 @@ pub fn build(norm: &LatencyTable, clusters: &[LatTriplet]) -> Result<Hierarchy, 
         }
         let k = comps.len();
         let lat = cl.median;
-        if !m.iter().any(|&v| v == lat) {
+        if !m.contains(&lat) {
             return Err(McTopError::IrregularTopology(format!(
                 "latency level {lat} vanished from the reduced table; \
                  a spurious measurement was likely clustered incorrectly"
@@ -144,7 +144,7 @@ pub fn build(norm: &LatencyTable, clusters: &[LatTriplet]) -> Result<Hierarchy, 
 fn try_group(m: &[u32], k: usize, lat: u32) -> Option<Vec<Vec<usize>>> {
     // Union-find over components joined by `lat`.
     let mut parent: Vec<usize> = (0..k).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];

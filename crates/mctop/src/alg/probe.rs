@@ -228,7 +228,7 @@ pub fn detect_smt<P: Prober>(prober: &mut P, norm: &LatencyTable) -> bool {
     for a in 0..n {
         for b in (a + 1)..n {
             let v = norm.get(a, b);
-            if best.map_or(true, |(bv, _, _)| v < bv) {
+            if best.is_none_or(|(bv, _, _)| v < bv) {
                 best = Some((v, a, b));
             }
         }

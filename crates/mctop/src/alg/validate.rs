@@ -119,10 +119,30 @@ pub fn validate(topo: &Mctop) -> Result<(), McTopError> {
         }
     }
 
-    // Every socket pair has a link record.
+    // Every socket pair has exactly one link record, stored normalized
+    // (a < b) — the query engine and the `TopoView` matrices both rely
+    // on this canonical orientation.
     let s = topo.num_sockets();
     if topo.links.len() != s * (s - 1) / 2 {
         return err("missing interconnect records".into());
+    }
+    let mut pairs = BTreeSet::new();
+    for l in &topo.links {
+        if l.a >= l.b {
+            return err(format!(
+                "interconnect record ({}, {}) is not normalized (need a < b)",
+                l.a, l.b
+            ));
+        }
+        if l.b >= s {
+            return err(format!(
+                "interconnect record ({}, {}) names an unknown socket",
+                l.a, l.b
+            ));
+        }
+        if !pairs.insert((l.a, l.b)) {
+            return err(format!("duplicate interconnect record ({}, {})", l.a, l.b));
+        }
     }
     Ok(())
 }

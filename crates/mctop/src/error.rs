@@ -26,6 +26,13 @@ pub enum McTopError {
     /// The requested plugin or backend is unavailable on this platform
     /// (e.g. power measurements on non-Intel machines).
     Unavailable(&'static str),
+    /// The topology has no latency level with the required role (e.g. a
+    /// hand-written description without a socket level); level-indexed
+    /// queries cannot answer.
+    MissingLevel {
+        /// The role that was looked up ("socket", ...).
+        role: &'static str,
+    },
     /// Filesystem error while reading/writing description files.
     Io(std::io::Error),
 }
@@ -45,6 +52,9 @@ impl fmt::Display for McTopError {
             McTopError::IrregularTopology(msg) => write!(f, "irregular topology: {msg}"),
             McTopError::InvalidDescription(msg) => write!(f, "invalid description: {msg}"),
             McTopError::Unavailable(what) => write!(f, "unavailable on this platform: {what}"),
+            McTopError::MissingLevel { role } => {
+                write!(f, "topology has no {role}-level latency cluster")
+            }
             McTopError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -15,7 +15,7 @@ use crate::model::{
 /// DOT for the intra-socket topology of one socket (cf. Fig. 1a/2a/3).
 pub fn intra_socket(topo: &Mctop, socket: usize) -> String {
     let s = &topo.sockets[socket];
-    let socket_lat = topo.levels[topo.socket_level_index()].latency.median;
+    let socket_lat = topo.intra_socket_latency();
     let mut out = String::new();
     let _ = writeln!(out, "digraph socket{socket} {{");
     let _ = writeln!(

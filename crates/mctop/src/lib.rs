@@ -19,6 +19,10 @@
 //!   memory bandwidth, cache latency/size, power).
 //! - [`query`]: the topology query engine used by the high-level
 //!   policies of Sections 5-6.
+//! - [`view`]: [`view::TopoView`], the precomputed index layer over the
+//!   query engine — built once per topology, it answers the socket-level
+//!   queries with O(1) table lookups and is what the placement, sorting
+//!   and runtime layers build on.
 //! - [`fmt`]: Graphviz and textual renderings (Figs. 1-3).
 //! - [`desc`]: description files (create once, load afterwards).
 //! - Probe backends: [`backend::SimProber`] over the `mcsim` machine
@@ -56,6 +60,7 @@ pub mod host;
 pub mod model;
 pub mod policies;
 pub mod query;
+pub mod view;
 
 pub use alg::probe::{
     ProbeConfig,
@@ -63,6 +68,7 @@ pub use alg::probe::{
 };
 pub use error::McTopError;
 pub use model::Mctop;
+pub use view::TopoView;
 
 /// Runs the full MCTOP-ALG pipeline (Section 3): collects the latency
 /// table, clusters and normalizes it, builds components, assigns roles,

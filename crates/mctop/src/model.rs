@@ -484,7 +484,7 @@ mod tests {
         }
         lat[2] = 30;
         lat[2 * 4] = 30;
-        lat[1 * 4 + 3] = 30;
+        lat[4 + 3] = 30;
         lat[3 * 4 + 1] = 30;
         Mctop {
             name: "tiny".into(),

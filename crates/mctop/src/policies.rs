@@ -8,29 +8,33 @@
 //! - "use the maximum number of threads, in the two most remote
 //!   sockets, so that each thread has access to at least 3 MB of LLC";
 //! - "use n cores that are the closest to core x".
+//!
+//! All policies take a [`TopoView`]: the caller builds the view once
+//! per topology and every policy below is then a cache lookup plus a
+//! short loop, instead of a fresh scan over the model arenas.
 
-use crate::model::Mctop;
+use crate::view::TopoView;
 
 /// One hardware context per core, machine-wide, in core order
 /// (the "avoid SMT siblings" policy).
-pub fn one_hwc_per_core(topo: &Mctop) -> Vec<usize> {
-    topo.cores
+pub fn one_hwc_per_core(view: &TopoView) -> Vec<usize> {
+    view.cores
         .iter()
-        .map(|&cg| topo.groups[cg].hwcs[0])
+        .map(|&cg| view.groups[cg].hwcs[0])
         .collect()
 }
 
 /// The two sockets with minimum communication latency, if the machine
 /// has at least two sockets.
-pub fn two_sockets_min_latency(topo: &Mctop) -> Option<(usize, usize)> {
-    topo.min_latency_socket_pair()
+pub fn two_sockets_min_latency(view: &TopoView) -> Option<(usize, usize)> {
+    view.min_latency_socket_pair()
 }
 
 /// The two sockets with the highest local memory bandwidth (requires
 /// the bandwidth plugin), best first.
-pub fn two_sockets_max_bandwidth(topo: &Mctop) -> Option<(usize, usize)> {
-    let ranked = topo.sockets_by_local_bandwidth();
-    if ranked.len() < 2 || topo.sockets[ranked[0]].local_bandwidth().is_none() {
+pub fn two_sockets_max_bandwidth(view: &TopoView) -> Option<(usize, usize)> {
+    let ranked = view.sockets_by_local_bandwidth();
+    if ranked.len() < 2 || view.local_bandwidth(ranked[0]).is_none() {
         return None;
     }
     Some((ranked[0], ranked[1]))
@@ -38,11 +42,8 @@ pub fn two_sockets_max_bandwidth(topo: &Mctop) -> Option<(usize, usize)> {
 
 /// The pair of sockets with maximum communication latency between them
 /// (the "two most remote sockets").
-pub fn two_most_remote_sockets(topo: &Mctop) -> Option<(usize, usize)> {
-    topo.links
-        .iter()
-        .max_by_key(|l| (l.latency, l.a, l.b))
-        .map(|l| (l.a, l.b))
+pub fn two_most_remote_sockets(view: &TopoView) -> Option<(usize, usize)> {
+    view.max_latency_socket_pair()
 }
 
 /// The Section-1 composite: as many threads as possible on the two most
@@ -51,11 +52,11 @@ pub fn two_most_remote_sockets(topo: &Mctop) -> Option<(usize, usize)> {
 /// each socket). Requires the cache plugin; `None` when the machine has
 /// fewer than two sockets or no cache measurements.
 pub fn threads_on_remote_sockets_with_llc(
-    topo: &Mctop,
+    view: &TopoView,
     llc_per_thread: usize,
 ) -> Option<Vec<usize>> {
-    let (a, b) = two_most_remote_sockets(topo)?;
-    let llc = topo.caches.as_ref()?.last()?.size_estimate;
+    let (a, b) = two_most_remote_sockets(view)?;
+    let llc = view.caches.as_ref()?.last()?.size_estimate;
     if llc_per_thread == 0 {
         return None;
     }
@@ -64,19 +65,19 @@ pub fn threads_on_remote_sockets_with_llc(
     let per_socket = (llc / llc_per_thread).max(1);
     let mut out = Vec::new();
     for s in [a, b] {
-        out.extend(topo.socket_hwcs_cores_first(s).into_iter().take(per_socket));
+        out.extend(view.socket_hwcs_cores_first(s).iter().take(per_socket));
     }
     Some(out)
 }
 
 /// The `n` cores closest to the core of context `x`, by communication
 /// latency (excluding `x`'s own core); ties toward lower core ids.
-pub fn closest_cores_to(topo: &Mctop, x: usize, n: usize) -> Vec<usize> {
-    let my_core = topo.hwcs[x].core;
-    let mut others: Vec<usize> = (0..topo.num_cores()).filter(|&c| c != my_core).collect();
+pub fn closest_cores_to(view: &TopoView, x: usize, n: usize) -> Vec<usize> {
+    let my_core = view.core_of(x);
+    let mut others: Vec<usize> = (0..view.num_cores()).filter(|&c| c != my_core).collect();
     others.sort_by_key(|&c| {
-        let rep = topo.groups[topo.cores[c]].hwcs[0];
-        (topo.get_latency(x, rep), c)
+        let rep = view.groups[view.cores[c]].hwcs[0];
+        (view.get_latency(x, rep), c)
     });
     others.truncate(n);
     others
@@ -91,6 +92,7 @@ mod tests {
         enrich_all,
         SimEnricher, //
     };
+    use crate::model::Mctop;
 
     fn enriched(spec: &mcsim::MachineSpec) -> Mctop {
         let mut p = SimProber::noiseless(spec);
@@ -105,12 +107,16 @@ mod tests {
         t
     }
 
+    fn view(spec: &mcsim::MachineSpec) -> TopoView {
+        TopoView::build(&enriched(spec)).unwrap()
+    }
+
     #[test]
     fn one_context_per_core_avoids_siblings() {
-        let t = enriched(&mcsim::presets::ivy());
-        let picks = one_hwc_per_core(&t);
+        let v = view(&mcsim::presets::ivy());
+        let picks = one_hwc_per_core(&v);
         assert_eq!(picks.len(), 20);
-        let mut cores: Vec<usize> = picks.iter().map(|&h| t.hwcs[h].core).collect();
+        let mut cores: Vec<usize> = picks.iter().map(|&h| v.core_of(h)).collect();
         cores.sort_unstable();
         cores.dedup();
         assert_eq!(cores.len(), 20);
@@ -118,24 +124,24 @@ mod tests {
         // latency.
         for (i, &a) in picks.iter().enumerate() {
             for &b in picks.iter().skip(i + 1) {
-                assert!(t.get_latency(a, b) > 28);
+                assert!(v.get_latency(a, b) > 28);
             }
         }
     }
 
     #[test]
     fn min_latency_sockets_on_opteron_are_an_mcm_pair() {
-        let t = enriched(&mcsim::presets::opteron());
-        let (a, b) = two_sockets_min_latency(&t).unwrap();
-        assert_eq!(t.socket_latency(a, b), 197);
+        let v = view(&mcsim::presets::opteron());
+        let (a, b) = two_sockets_min_latency(&v).unwrap();
+        assert_eq!(v.socket_latency(a, b), 197);
     }
 
     #[test]
     fn most_remote_sockets_on_opteron_are_two_hops_apart() {
-        let t = enriched(&mcsim::presets::opteron());
-        let (a, b) = two_most_remote_sockets(&t).unwrap();
-        assert_eq!(t.socket_latency(a, b), 300);
-        assert_eq!(t.link(a, b).unwrap().hops, 2);
+        let v = view(&mcsim::presets::opteron());
+        let (a, b) = two_most_remote_sockets(&v).unwrap();
+        assert_eq!(v.socket_latency(a, b), 300);
+        assert_eq!(v.socket_hops(a, b), 2);
     }
 
     #[test]
@@ -146,47 +152,47 @@ mod tests {
             reps: 3,
             ..ProbeConfig::fast()
         };
-        let bare = crate::alg::run(&mut p, &cfg).unwrap();
+        let bare = TopoView::build(&crate::alg::run(&mut p, &cfg).unwrap()).unwrap();
         assert!(two_sockets_max_bandwidth(&bare).is_none());
-        let t = enriched(&spec);
-        let (a, b) = two_sockets_max_bandwidth(&t).unwrap();
+        let v = view(&spec);
+        let (a, b) = two_sockets_max_bandwidth(&v).unwrap();
         assert_ne!(a, b);
-        let bw_a = t.sockets[a].local_bandwidth().unwrap();
-        for s in &t.sockets {
-            assert!(s.local_bandwidth().unwrap() <= bw_a + 1e-9);
+        let bw_a = v.local_bandwidth(a).unwrap();
+        for s in 0..v.num_sockets() {
+            assert!(v.local_bandwidth(s).unwrap() <= bw_a + 1e-9);
         }
     }
 
     #[test]
     fn llc_budget_policy_scales_with_requirement() {
-        let t = enriched(&mcsim::presets::ivy());
+        let v = view(&mcsim::presets::ivy());
         // Ivy LLC ~25 MB: 3 MB per thread allows ~8 threads per socket.
-        let picks = threads_on_remote_sockets_with_llc(&t, 3 * 1024 * 1024).unwrap();
-        let used = t.sockets_used_by(&picks);
+        let picks = threads_on_remote_sockets_with_llc(&v, 3 * 1024 * 1024).unwrap();
+        let used = v.sockets_used_by(&picks);
         assert_eq!(used.len(), 2);
         let per_socket = picks.len() / 2;
         assert!((6..=9).contains(&per_socket), "{per_socket} threads/socket");
         // A tighter budget admits fewer threads.
-        let fewer = threads_on_remote_sockets_with_llc(&t, 12 * 1024 * 1024).unwrap();
+        let fewer = threads_on_remote_sockets_with_llc(&v, 12 * 1024 * 1024).unwrap();
         assert!(fewer.len() < picks.len());
         // The policy is meaningless with a zero budget.
-        assert!(threads_on_remote_sockets_with_llc(&t, 0).is_none());
+        assert!(threads_on_remote_sockets_with_llc(&v, 0).is_none());
     }
 
     #[test]
     fn closest_cores_respect_topology() {
-        let t = enriched(&mcsim::presets::clustered_l2());
+        let v = view(&mcsim::presets::clustered_l2());
         // Context 0's core shares an L2 with exactly one other core:
         // that core must come first.
-        let order = closest_cores_to(&t, 0, 4);
+        let order = closest_cores_to(&v, 0, 4);
         assert_eq!(order.len(), 4);
-        let first_rep = t.groups[t.cores[order[0]]].hwcs[0];
-        assert_eq!(t.get_latency(0, first_rep), 55);
+        let first_rep = v.groups[v.cores[order[0]]].hwcs[0];
+        assert_eq!(v.get_latency(0, first_rep), 55);
         // And no remote-socket core before a local one.
         let sockets: Vec<usize> = order
             .iter()
-            .map(|&c| t.groups[t.cores[c]].hwcs[0])
-            .map(|h| t.socket_of(h))
+            .map(|&c| v.groups[v.cores[c]].hwcs[0])
+            .map(|h| v.socket_of(h))
             .collect();
         assert_eq!(sockets, vec![0, 0, 0, 0]);
     }

@@ -5,55 +5,68 @@
 //! policies are written: closest sockets, maximum-bandwidth sockets,
 //! maximum latency among a set of contexts, and so on. None of them
 //! mention a concrete machine — that is what makes policies portable.
+//!
+//! The `impl Mctop` methods here are thin wrappers over the reference
+//! implementations in [`crate::view`]'s `naive` module; they recompute
+//! their answer on every call. Hot paths (placement construction, merge
+//! trees, policy loops) should build a [`crate::view::TopoView`] once
+//! and use its precomputed O(1) lookups instead.
 
+use crate::error::McTopError;
 use crate::model::Mctop;
+use crate::view::naive;
 
 impl Mctop {
     /// Sockets sorted by communication latency from `socket`, closest
     /// first (excluding `socket` itself). Ties break toward lower ids.
     pub fn closest_sockets(&self, socket: usize) -> Vec<usize> {
-        let mut others: Vec<usize> = (0..self.num_sockets()).filter(|&s| s != socket).collect();
-        others.sort_by_key(|&s| (self.socket_latency(socket, s), s));
-        others
+        naive::closest_sockets(self, socket)
     }
 
     /// Context-to-context latency between two sockets (via their link
     /// record; `u32::MAX` if unknown).
     pub fn socket_latency(&self, a: usize, b: usize) -> u32 {
-        if a == b {
-            return self.levels[self.socket_level_index()].latency.median;
-        }
-        self.link(a, b).map_or(u32::MAX, |l| l.latency)
+        naive::socket_latency(self, a, b)
     }
 
-    /// Index of the socket level in `levels`.
-    pub fn socket_level_index(&self) -> usize {
-        self.levels
-            .iter()
-            .position(|l| matches!(l.role, crate::model::LevelRole::Socket))
-            .unwrap_or(0)
+    /// Index of the socket level in `levels`, if MCTOP-ALG assigned
+    /// one. Inferred topologies always have a socket level; `None` can
+    /// only come out of hand-edited description files.
+    pub fn socket_level_index(&self) -> Option<usize> {
+        naive::socket_level_index(self)
+    }
+
+    /// Like [`Mctop::socket_level_index`], but failing loudly instead
+    /// of leaving the caller to misattribute level 0.
+    pub fn require_socket_level(&self) -> Result<usize, McTopError> {
+        self.socket_level_index()
+            .ok_or(McTopError::MissingLevel { role: "socket" })
+    }
+
+    /// Median intra-socket communication latency (the socket level's
+    /// median; falls back to the highest intra-socket level on
+    /// topologies without a socket level).
+    pub fn intra_socket_latency(&self) -> u32 {
+        naive::intra_socket_latency(self)
     }
 
     /// The pair of distinct sockets with minimum latency, if the machine
     /// has at least two sockets ("use any two sockets that minimize
     /// latency", Section 1).
     pub fn min_latency_socket_pair(&self) -> Option<(usize, usize)> {
-        self.links
-            .iter()
-            .min_by_key(|l| (l.latency, l.a, l.b))
-            .map(|l| (l.a, l.b))
+        naive::min_latency_socket_pair(self)
+    }
+
+    /// The pair of distinct sockets with maximum latency (the "two most
+    /// remote sockets").
+    pub fn max_latency_socket_pair(&self) -> Option<(usize, usize)> {
+        naive::max_latency_socket_pair(self)
     }
 
     /// Sockets sorted by local memory bandwidth, descending (requires
     /// the bandwidth plugin). Sockets without measurements sort last.
     pub fn sockets_by_local_bandwidth(&self) -> Vec<usize> {
-        let mut ids: Vec<usize> = (0..self.num_sockets()).collect();
-        ids.sort_by(|&a, &b| {
-            let ba = self.sockets[a].local_bandwidth().unwrap_or(0.0);
-            let bb = self.sockets[b].local_bandwidth().unwrap_or(0.0);
-            bb.partial_cmp(&ba).unwrap().then(a.cmp(&b))
-        });
-        ids
+        naive::sockets_by_local_bandwidth(self)
     }
 
     /// The socket with the maximum local memory bandwidth.
@@ -97,25 +110,13 @@ impl Mctop {
     /// every core, then second contexts, ...). This is the iteration
     /// order of the `CON_CORE`-flavoured policies.
     pub fn socket_hwcs_cores_first(&self, socket: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.sockets[socket].hwcs.len());
-        for round in 0..self.smt {
-            for &cg in &self.sockets[socket].cores {
-                if let Some(&h) = self.groups[cg].hwcs.get(round) {
-                    out.push(h);
-                }
-            }
-        }
-        out
+        naive::socket_hwcs_cores_first(self, socket)
     }
 
     /// Contexts of a socket in compact order (all contexts of core 0,
     /// then core 1, ...). Iteration order of `CON_HWC`.
     pub fn socket_hwcs_compact(&self, socket: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.sockets[socket].hwcs.len());
-        for &cg in &self.sockets[socket].cores {
-            out.extend_from_slice(&self.groups[cg].hwcs);
-        }
-        out
+        naive::socket_hwcs_compact(self, socket)
     }
 
     /// Walks sockets in a bandwidth-then-proximity order: start from the
@@ -123,21 +124,7 @@ impl Mctop {
     /// unvisited socket best connected (lowest latency) to the last one.
     /// This is the socket order of the CON_* policies of Section 6.
     pub fn socket_order_bandwidth_proximity(&self) -> Vec<usize> {
-        let n = self.num_sockets();
-        if n == 0 {
-            return Vec::new();
-        }
-        let mut order = vec![self.max_bandwidth_socket()];
-        while order.len() < n {
-            let last = *order.last().unwrap();
-            let next = self
-                .closest_sockets(last)
-                .into_iter()
-                .find(|s| !order.contains(s))
-                .expect("unvisited socket exists");
-            order.push(next);
-        }
-        order
+        naive::socket_order_bandwidth_proximity(self)
     }
 
     /// Cross-socket bandwidth between two sockets, if measured.

@@ -1,0 +1,559 @@
+//! Precomputed topology views: the index layer of the query engine.
+//!
+//! The queries of [`crate::query`] are deliberately written as
+//! straight-line scans over the model arenas — easy to audit against
+//! the paper, but O(n log n) per call. Placement construction, merge
+//! trees and policy loops issue those queries thousands of times over
+//! an immutable topology, so a [`TopoView`] front-loads the work: built
+//! once from an [`Mctop`], it holds
+//!
+//! - the socket-level index (validated, not guessed — see
+//!   [`Mctop::socket_level_index`]),
+//! - dense socket×socket latency / hop / bandwidth matrices,
+//! - per-socket neighbor lists sorted by proximity,
+//! - per-context → (core, socket, node) lookup tables,
+//! - per-socket context hand-out orders (compact and cores-first),
+//! - the min-latency / max-latency / max-bandwidth socket-pair caches
+//!   and the bandwidth-then-proximity socket walk of the CON policies.
+//!
+//! Every answer is then an O(1) or O(k) lookup. The `naive` module
+//! keeps the reference implementations; `tests/proptest_invariants.rs`
+//! asserts view answers are identical to the naive ones on every
+//! simulated machine.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::error::McTopError;
+use crate::model::Mctop;
+
+/// The naive reference implementations of the socket-level queries.
+///
+/// [`crate::query`]'s `impl Mctop` methods are thin wrappers over these
+/// functions. [`TopoView`] derives its latency/hop/bandwidth matrices,
+/// neighbor lists, bandwidth ranking and socket walk independently
+/// (one scan over the link arena, sorts over the matrices) — for those
+/// the naive-vs-view equivalence proptest is a genuine cross-check.
+/// The remaining caches (hand-out orders, socket level, latency pairs)
+/// intentionally share these reference implementations, so for them
+/// the proptest guards cache staleness and indexing, not derivation.
+pub(crate) mod naive {
+    use crate::model::{LevelRole, Mctop};
+
+    /// Sockets sorted by latency from `socket`, closest first.
+    pub fn closest_sockets(topo: &Mctop, socket: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..topo.num_sockets()).filter(|&s| s != socket).collect();
+        others.sort_by_key(|&s| (socket_latency(topo, socket, s), s));
+        others
+    }
+
+    /// Context-to-context latency between two sockets.
+    pub fn socket_latency(topo: &Mctop, a: usize, b: usize) -> u32 {
+        if a == b {
+            return intra_socket_latency(topo);
+        }
+        topo.link(a, b).map_or(u32::MAX, |l| l.latency)
+    }
+
+    /// Index of the socket level, if one was assigned.
+    pub fn socket_level_index(topo: &Mctop) -> Option<usize> {
+        topo.levels
+            .iter()
+            .position(|l| matches!(l.role, LevelRole::Socket))
+    }
+
+    /// Median latency of the socket level; on topologies without one
+    /// (never produced by MCTOP-ALG, but loadable from hand-written
+    /// descriptions), the highest intra-socket level stands in.
+    pub fn intra_socket_latency(topo: &Mctop) -> u32 {
+        match socket_level_index(topo) {
+            Some(i) => topo.levels[i].latency.median,
+            None => topo
+                .levels
+                .iter()
+                .filter(|l| !matches!(l.role, LevelRole::CrossSocket { .. }))
+                .map(|l| l.latency.median)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// The distinct socket pair with minimum latency.
+    pub fn min_latency_socket_pair(topo: &Mctop) -> Option<(usize, usize)> {
+        topo.links
+            .iter()
+            .min_by_key(|l| (l.latency, l.a, l.b))
+            .map(|l| (l.a, l.b))
+    }
+
+    /// The distinct socket pair with maximum latency.
+    pub fn max_latency_socket_pair(topo: &Mctop) -> Option<(usize, usize)> {
+        topo.links
+            .iter()
+            .max_by_key(|l| (l.latency, l.a, l.b))
+            .map(|l| (l.a, l.b))
+    }
+
+    /// Sockets sorted by local memory bandwidth, descending.
+    pub fn sockets_by_local_bandwidth(topo: &Mctop) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..topo.num_sockets()).collect();
+        ids.sort_by(|&a, &b| {
+            let ba = topo.sockets[a].local_bandwidth().unwrap_or(0.0);
+            let bb = topo.sockets[b].local_bandwidth().unwrap_or(0.0);
+            bb.partial_cmp(&ba).unwrap().then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// Contexts of a socket, unique cores first.
+    pub fn socket_hwcs_cores_first(topo: &Mctop, socket: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(topo.sockets[socket].hwcs.len());
+        for round in 0..topo.smt {
+            for &cg in &topo.sockets[socket].cores {
+                if let Some(&h) = topo.groups[cg].hwcs.get(round) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Contexts of a socket in compact (core-filling) order.
+    pub fn socket_hwcs_compact(topo: &Mctop, socket: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(topo.sockets[socket].hwcs.len());
+        for &cg in &topo.sockets[socket].cores {
+            out.extend_from_slice(&topo.groups[cg].hwcs);
+        }
+        out
+    }
+
+    /// The bandwidth-then-proximity socket walk of the CON policies.
+    pub fn socket_order_bandwidth_proximity(topo: &Mctop) -> Vec<usize> {
+        let n = topo.num_sockets();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order = vec![sockets_by_local_bandwidth(topo)[0]];
+        while order.len() < n {
+            let last = *order.last().unwrap();
+            let next = closest_sockets(topo, last)
+                .into_iter()
+                .find(|s| !order.contains(s))
+                .expect("unvisited socket exists");
+            order.push(next);
+        }
+        order
+    }
+}
+
+/// A precomputed, shareable index over an immutable [`Mctop`].
+///
+/// Construction is O(S² log S + N); every query afterwards is an O(1)
+/// table lookup or a borrowed slice. The view holds the topology behind
+/// an [`Arc`], so it is cheap to hand to worker pools and placement
+/// caches, and it [`Deref`]s to [`Mctop`] for the model accessors
+/// (`num_sockets`, `get_latency`, ...).
+#[derive(Debug, Clone)]
+pub struct TopoView {
+    topo: Arc<Mctop>,
+    socket_level: Option<usize>,
+    intra_socket_latency: u32,
+    n_sockets: usize,
+    /// S×S context-to-context latency (diagonal = intra-socket).
+    socket_lat: Vec<u32>,
+    /// S×S interconnect hops (0 on the diagonal, `usize::MAX` unknown).
+    socket_hops: Vec<usize>,
+    /// S×S memory bandwidth: cross-socket off the diagonal, local on it.
+    socket_bw: Vec<Option<f64>>,
+    /// Per socket: the other sockets sorted by latency (ties by id).
+    neighbors: Vec<Vec<usize>>,
+    /// Sockets sorted by local bandwidth, descending.
+    by_bandwidth: Vec<usize>,
+    /// The CON-policy socket walk (max-bandwidth start, then proximity).
+    order_bw_proximity: Vec<usize>,
+    min_latency_pair: Option<(usize, usize)>,
+    max_latency_pair: Option<(usize, usize)>,
+    /// Per context: owning socket.
+    hwc_socket: Vec<usize>,
+    /// Per context: owning core (machine-wide core index).
+    hwc_core: Vec<usize>,
+    /// Per context: local memory node of its socket.
+    hwc_node: Vec<Option<usize>>,
+    /// Per socket: contexts in cores-first hand-out order.
+    cores_first: Vec<Vec<usize>>,
+    /// Per socket: contexts in compact hand-out order.
+    compact: Vec<Vec<usize>>,
+}
+
+impl TopoView {
+    /// Builds the view, taking shared ownership of the topology.
+    pub fn new(topo: Arc<Mctop>) -> TopoView {
+        let s = topo.num_sockets();
+        let socket_level = naive::socket_level_index(&topo);
+        let intra = naive::intra_socket_latency(&topo);
+
+        // Dense socket matrices, filled from the link arena in one scan
+        // (the naive path re-scans `links` per query instead).
+        let mut socket_lat = vec![u32::MAX; s * s];
+        let mut socket_hops = vec![usize::MAX; s * s];
+        let mut socket_bw: Vec<Option<f64>> = vec![None; s * s];
+        for i in 0..s {
+            socket_lat[i * s + i] = intra;
+            socket_hops[i * s + i] = 0;
+            socket_bw[i * s + i] = topo.sockets[i].local_bandwidth();
+        }
+        for l in &topo.links {
+            // Mirror the naive query exactly: only normalized records
+            // are visible, and the first record for a pair wins
+            // (`Mctop::link` is a first-match scan). `validate`
+            // rejects unnormalized/duplicate records in loaded
+            // topologies, so this only matters for hand-built ones.
+            if l.a >= l.b || socket_hops[l.a * s + l.b] != usize::MAX {
+                continue;
+            }
+            for (x, y) in [(l.a, l.b), (l.b, l.a)] {
+                socket_lat[x * s + y] = l.latency;
+                socket_hops[x * s + y] = l.hops;
+                socket_bw[x * s + y] = l.bandwidth;
+            }
+        }
+
+        let neighbors: Vec<Vec<usize>> = (0..s)
+            .map(|a| {
+                let mut others: Vec<usize> = (0..s).filter(|&b| b != a).collect();
+                others.sort_by_key(|&b| (socket_lat[a * s + b], b));
+                others
+            })
+            .collect();
+
+        let mut by_bandwidth: Vec<usize> = (0..s).collect();
+        by_bandwidth.sort_by(|&a, &b| {
+            let ba = socket_bw[a * s + a].unwrap_or(0.0);
+            let bb = socket_bw[b * s + b].unwrap_or(0.0);
+            bb.partial_cmp(&ba)
+                .expect("bandwidths are finite")
+                .then(a.cmp(&b))
+        });
+
+        // The CON-policy walk: best-bandwidth socket, then repeatedly
+        // the closest unvisited one.
+        let mut order_bw_proximity = Vec::with_capacity(s);
+        if s > 0 {
+            let mut visited = vec![false; s];
+            let mut cur = by_bandwidth[0];
+            visited[cur] = true;
+            order_bw_proximity.push(cur);
+            while order_bw_proximity.len() < s {
+                let next = neighbors[cur]
+                    .iter()
+                    .copied()
+                    .find(|&b| !visited[b])
+                    .expect("unvisited socket exists");
+                visited[next] = true;
+                order_bw_proximity.push(next);
+                cur = next;
+            }
+        }
+
+        let min_latency_pair = naive::min_latency_socket_pair(&topo);
+        let max_latency_pair = naive::max_latency_socket_pair(&topo);
+
+        let hwc_socket: Vec<usize> = topo.hwcs.iter().map(|h| h.socket).collect();
+        let hwc_core: Vec<usize> = topo.hwcs.iter().map(|h| h.core).collect();
+        let hwc_node: Vec<Option<usize>> = topo
+            .hwcs
+            .iter()
+            .map(|h| topo.sockets[h.socket].local_node)
+            .collect();
+
+        let cores_first: Vec<Vec<usize>> = (0..s)
+            .map(|sk| naive::socket_hwcs_cores_first(&topo, sk))
+            .collect();
+        let compact: Vec<Vec<usize>> = (0..s)
+            .map(|sk| naive::socket_hwcs_compact(&topo, sk))
+            .collect();
+
+        TopoView {
+            topo,
+            socket_level,
+            intra_socket_latency: intra,
+            n_sockets: s,
+            socket_lat,
+            socket_hops,
+            socket_bw,
+            neighbors,
+            by_bandwidth,
+            order_bw_proximity,
+            min_latency_pair,
+            max_latency_pair,
+            hwc_socket,
+            hwc_core,
+            hwc_node,
+            cores_first,
+            compact,
+        }
+    }
+
+    /// Builds a view from a borrowed topology (clones it into the view).
+    pub fn build(topo: &Mctop) -> Result<TopoView, McTopError> {
+        Self::try_new(Arc::new(topo.clone()))
+    }
+
+    /// Like [`TopoView::new`], but fails on topologies without a socket
+    /// level instead of falling back to the intra-socket estimate.
+    pub fn try_new(topo: Arc<Mctop>) -> Result<TopoView, McTopError> {
+        topo.require_socket_level()?;
+        Ok(Self::new(topo))
+    }
+
+    /// The topology behind the view.
+    pub fn topo(&self) -> &Arc<Mctop> {
+        &self.topo
+    }
+
+    /// Index of the socket level in `levels`, if one was assigned.
+    pub fn socket_level(&self) -> Option<usize> {
+        self.socket_level
+    }
+
+    /// Median intra-socket communication latency.
+    pub fn intra_socket_latency(&self) -> u32 {
+        self.intra_socket_latency
+    }
+
+    /// Sockets sorted by latency from `socket`, closest first.
+    pub fn closest_sockets(&self, socket: usize) -> &[usize] {
+        &self.neighbors[socket]
+    }
+
+    /// Context-to-context latency between two sockets (`u32::MAX` if
+    /// unknown).
+    pub fn socket_latency(&self, a: usize, b: usize) -> u32 {
+        self.socket_lat[a * self.n_sockets + b]
+    }
+
+    /// Interconnect hops between two sockets (0 for a socket with
+    /// itself, `usize::MAX` if unknown).
+    pub fn socket_hops(&self, a: usize, b: usize) -> usize {
+        self.socket_hops[a * self.n_sockets + b]
+    }
+
+    /// Cross-socket memory bandwidth, if measured. Like the naive
+    /// query, a socket has no cross link with itself — use
+    /// [`TopoView::local_bandwidth`] for the diagonal.
+    pub fn cross_bandwidth(&self, a: usize, b: usize) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.socket_bw[a * self.n_sockets + b]
+    }
+
+    /// A socket's bandwidth to its local node, if measured.
+    pub fn local_bandwidth(&self, socket: usize) -> Option<f64> {
+        self.socket_bw[socket * self.n_sockets + socket]
+    }
+
+    /// The distinct socket pair with minimum latency.
+    pub fn min_latency_socket_pair(&self) -> Option<(usize, usize)> {
+        self.min_latency_pair
+    }
+
+    /// The distinct socket pair with maximum latency (the "two most
+    /// remote sockets" of the Section 1 policies).
+    pub fn max_latency_socket_pair(&self) -> Option<(usize, usize)> {
+        self.max_latency_pair
+    }
+
+    /// Sockets sorted by local memory bandwidth, descending.
+    pub fn sockets_by_local_bandwidth(&self) -> &[usize] {
+        &self.by_bandwidth
+    }
+
+    /// The socket with the maximum local memory bandwidth.
+    pub fn max_bandwidth_socket(&self) -> usize {
+        self.by_bandwidth[0]
+    }
+
+    /// The bandwidth-then-proximity socket walk of the CON policies.
+    pub fn socket_order_bandwidth_proximity(&self) -> &[usize] {
+        &self.order_bw_proximity
+    }
+
+    /// Contexts of a socket, unique cores first.
+    pub fn socket_hwcs_cores_first(&self, socket: usize) -> &[usize] {
+        &self.cores_first[socket]
+    }
+
+    /// Contexts of a socket in compact (core-filling) order.
+    pub fn socket_hwcs_compact(&self, socket: usize) -> &[usize] {
+        &self.compact[socket]
+    }
+
+    /// The socket of a context.
+    pub fn socket_of(&self, hwc: usize) -> usize {
+        self.hwc_socket[hwc]
+    }
+
+    /// The machine-wide core index of a context.
+    pub fn core_of(&self, hwc: usize) -> usize {
+        self.hwc_core[hwc]
+    }
+
+    /// The local memory node of a context's socket, if known.
+    pub fn node_of(&self, hwc: usize) -> Option<usize> {
+        self.hwc_node[hwc]
+    }
+
+    /// The distinct sockets used by the given contexts, ascending.
+    pub fn sockets_used_by(&self, hwcs: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.n_sockets];
+        for &h in hwcs {
+            seen[self.hwc_socket[h]] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(s, &used)| used.then_some(s))
+            .collect()
+    }
+
+    /// Maximum communication latency between any two of the given
+    /// contexts (the educated-backoff quantum).
+    pub fn max_latency_between(&self, hwcs: &[usize]) -> u32 {
+        self.topo.max_latency_between(hwcs)
+    }
+
+    /// Minimum local bandwidth among the sockets used by the contexts.
+    pub fn min_bandwidth_of(&self, hwcs: &[usize]) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for s in self.sockets_used_by(hwcs) {
+            let bw = self.local_bandwidth(s)?;
+            min = Some(min.map_or(bw, |m: f64| m.min(bw)));
+        }
+        min
+    }
+
+    /// Estimated LLC share (bytes) for each of `k` threads on a socket.
+    pub fn llc_share_per_thread(&self, k: usize) -> Option<usize> {
+        self.topo.llc_share_per_thread(k)
+    }
+}
+
+impl Deref for TopoView {
+    type Target = Mctop;
+
+    fn deref(&self) -> &Mctop {
+        &self.topo
+    }
+}
+
+impl From<Mctop> for TopoView {
+    fn from(topo: Mctop) -> TopoView {
+        TopoView::new(Arc::new(topo))
+    }
+}
+
+impl From<Arc<Mctop>> for TopoView {
+    fn from(topo: Arc<Mctop>) -> TopoView {
+        TopoView::new(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::probe::ProbeConfig;
+    use crate::backend::SimProber;
+    use crate::enrich::{
+        enrich_all,
+        SimEnricher, //
+    };
+
+    fn enriched(spec: &mcsim::MachineSpec) -> Mctop {
+        let mut p = SimProber::noiseless(spec);
+        let cfg = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let mut t = crate::alg::run(&mut p, &cfg).unwrap();
+        let mut e = SimEnricher::new(spec);
+        let mut pw = SimEnricher::new(spec);
+        enrich_all(&mut t, &mut e, &mut pw).unwrap();
+        t
+    }
+
+    #[test]
+    fn view_matches_naive_on_opteron() {
+        let t = enriched(&mcsim::presets::opteron());
+        let v = TopoView::build(&t).unwrap();
+        for a in 0..t.num_sockets() {
+            assert_eq!(v.closest_sockets(a), &t.closest_sockets(a)[..]);
+            for b in 0..t.num_sockets() {
+                assert_eq!(v.socket_latency(a, b), t.socket_latency(a, b));
+                assert_eq!(v.cross_bandwidth(a, b), t.cross_bandwidth(a, b));
+                if a != b {
+                    assert_eq!(v.socket_hops(a, b), t.link(a, b).unwrap().hops);
+                }
+            }
+            assert_eq!(
+                v.socket_hwcs_cores_first(a),
+                &t.socket_hwcs_cores_first(a)[..]
+            );
+            assert_eq!(v.socket_hwcs_compact(a), &t.socket_hwcs_compact(a)[..]);
+        }
+        assert_eq!(v.min_latency_socket_pair(), t.min_latency_socket_pair());
+        assert_eq!(
+            v.sockets_by_local_bandwidth(),
+            &t.sockets_by_local_bandwidth()[..]
+        );
+        assert_eq!(
+            v.socket_order_bandwidth_proximity(),
+            &t.socket_order_bandwidth_proximity()[..]
+        );
+    }
+
+    #[test]
+    fn per_context_tables_match_model() {
+        let t = enriched(&mcsim::presets::ivy());
+        let v = TopoView::build(&t).unwrap();
+        for h in 0..t.num_hwcs() {
+            assert_eq!(v.socket_of(h), t.socket_of(h));
+            assert_eq!(v.core_of(h), t.hwcs[h].core);
+            assert_eq!(v.node_of(h), t.get_local_node(h));
+        }
+        assert_eq!(
+            v.sockets_used_by(&[0, 20, 5]),
+            t.sockets_used_by(&[0, 20, 5])
+        );
+        assert_eq!(v.min_bandwidth_of(&[0, 10]), t.min_bandwidth_of(&[0, 10]));
+    }
+
+    #[test]
+    fn deref_exposes_model_accessors() {
+        let t = enriched(&mcsim::presets::single_socket());
+        let v = TopoView::build(&t).unwrap();
+        assert_eq!(v.num_sockets(), 1);
+        assert!(v.closest_sockets(0).is_empty());
+        assert_eq!(v.min_latency_socket_pair(), None);
+        assert_eq!(v.get_latency(0, 1), t.get_latency(0, 1));
+    }
+
+    #[test]
+    fn missing_socket_level_is_an_error() {
+        let mut t = enriched(&mcsim::presets::single_socket());
+        t.levels = t
+            .levels
+            .iter()
+            .filter(|l| !matches!(l.role, crate::model::LevelRole::Socket))
+            .copied()
+            .collect();
+        assert!(t.socket_level_index().is_none());
+        assert!(matches!(
+            TopoView::build(&t),
+            Err(McTopError::MissingLevel { .. })
+        ));
+        // The infallible constructor degrades to the best intra level.
+        let v = TopoView::new(Arc::new(t));
+        assert!(v.socket_level().is_none());
+        assert!(v.intra_socket_latency() > 0);
+    }
+}

@@ -8,6 +8,7 @@ use mctop::enrich::{
     enrich_all,
     SimEnricher, //
 };
+use mctop::view::TopoView;
 use mctop::ProbeConfig;
 use mctop_place::{
     PlaceOpts,
@@ -22,15 +23,17 @@ fn main() {
     let mut mem = SimEnricher::new(&spec);
     let mut pow = SimEnricher::new(&spec);
     enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+    // One precomputed view serves all twelve placements.
+    let view = TopoView::new(std::sync::Arc::new(topo));
 
     // The Fig. 7 printout.
-    let fig7 = Placement::new(&topo, Policy::ConHwc, PlaceOpts::threads(30)).expect("place");
+    let fig7 = Placement::with_view(&view, Policy::ConHwc, PlaceOpts::threads(30)).expect("place");
     println!("{}", fig7.print());
 
     // Every policy with 12 threads: how the first contexts differ.
     println!("First 12 contexts handed out by each policy:");
     for policy in Policy::ALL {
-        match Placement::new(&topo, policy, PlaceOpts::threads(12)) {
+        match Placement::with_view(&view, policy, PlaceOpts::threads(12)) {
             Ok(p) => {
                 let ids: Vec<String> = p.order().iter().map(|h| h.to_string()).collect();
                 println!("  {:<17} {}", policy.name(), ids.join(" "));

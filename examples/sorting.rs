@@ -10,6 +10,7 @@ use mctop::enrich::{
     enrich_all,
     SimEnricher, //
 };
+use mctop::view::TopoView;
 use mctop::ProbeConfig;
 use rand::rngs::SmallRng;
 use rand::{
@@ -25,6 +26,8 @@ fn main() {
     let mut mem = SimEnricher::new(&spec);
     let mut pow = SimEnricher::new(&spec);
     enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
+    // One precomputed view serves every sort below.
+    let view = TopoView::new(std::sync::Arc::new(topo));
 
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -44,12 +47,12 @@ fn main() {
 
     let mut b = data.clone();
     let t = Instant::now();
-    mctop_sort::mctop_sort(&mut b, &topo, threads, 0);
+    mctop_sort::mctop_sort_with_view(&mut b, &view, threads, 0);
     println!("  mctop_sort        : {:?}", t.elapsed());
 
     let mut c = data;
     let t = Instant::now();
-    mctop_sort::mctop_sort_sse(&mut c, &topo, threads, 0);
+    mctop_sort::mctop_sort_sse_with_view(&mut c, &view, threads, 0);
     println!("  mctop_sort_sse    : {:?}", t.elapsed());
     assert_eq!(a, b);
     assert_eq!(b, c);

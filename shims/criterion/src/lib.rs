@@ -1,0 +1,194 @@
+//! Offline shim for the `criterion` subset this workspace uses.
+//!
+//! Same bench-authoring API (`criterion_group!`, `criterion_main!`,
+//! benchmark groups, `iter`/`iter_batched`), much simpler engine: each
+//! benchmark is warmed up once, then timed for `sample_size` samples
+//! within the configured measurement time, and the per-iteration
+//! minimum / median / maximum are printed. No HTML reports, no
+//! statistics beyond that — enough to track relative speedups in CI
+//! logs without a registry dependency.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not used: the
+/// shim always re-runs setup per iteration, outside the timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // Warm-up.
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup runs outside
+    /// the timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // Warm-up.
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &b.times);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Ends the group (reports are printed as benches run).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            budget: Duration::from_secs(3),
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.into(), &b.times);
+        self
+    }
+}
+
+fn report(id: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let fmt = |d: Duration| -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} samples)",
+        fmt(sorted[0]),
+        fmt(sorted[sorted.len() / 2]),
+        fmt(*sorted.last().unwrap()),
+        sorted.len()
+    );
+}
+
+/// Declares a group-runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

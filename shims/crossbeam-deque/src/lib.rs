@@ -1,0 +1,136 @@
+//! Offline shim for the `crossbeam_deque` subset this workspace uses:
+//! FIFO [`Worker`] queues with cloneable [`Stealer`] handles.
+//!
+//! The real crate is lock-free; this shim uses a mutex-protected
+//! `VecDeque`, which preserves the semantics (FIFO hand-out, racing
+//! stealers, `Steal::{Success, Empty}` outcomes) at the cost of raw
+//! throughput — fine for correctness-level work-stealing experiments.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+/// A worker-owned FIFO queue.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new FIFO queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// Pops a task in FIFO order.
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// A stealer handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A cloneable handle that steals from another worker's queue.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_steal() {
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn stealers_share_across_threads() {
+        let w: Worker<usize> = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stolen: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move || {
+                        let mut n = 0;
+                        while let Steal::Success(_) = s.steal() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(stolen, 100);
+    }
+}

@@ -1,0 +1,278 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim (`shims/serde`).
+//!
+//! The build environment has no access to crates.io, so this derive is
+//! written against `proc_macro` alone — no `syn`, no `quote`. It parses
+//! just the shapes this workspace uses: non-generic braced structs and
+//! enums whose variants are unit, single-field tuple, or braced.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Variant {
+    Unit(String),
+    /// Single unnamed field (e.g. `Scrambled(u64)`).
+    Tuple(String),
+    /// Named fields (e.g. `CrossSocket { hops: usize }`).
+    Struct(String, Vec<String>),
+}
+
+enum Shape {
+    Struct(String, Vec<String>),
+    Enum(String, Vec<Variant>),
+}
+
+/// Skips attributes and visibility, returning the tokens from the
+/// `struct`/`enum` keyword onward.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue, // no generics in this workspace
+            None => panic!("missing braced body for {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct(name, field_names(body)),
+        "enum" => Shape::Enum(name, variants(body)),
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Splits a brace-group stream on top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field name = the identifier right before the first top-level `:`
+/// (after attributes and visibility).
+fn field_names(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|field| {
+            let mut name = None;
+            for (i, tt) in field.iter().enumerate() {
+                if let TokenTree::Punct(p) = tt {
+                    if p.as_char() == ':' {
+                        if let Some(TokenTree::Ident(id)) = field.get(i.wrapping_sub(1)) {
+                            name = Some(id.to_string());
+                        }
+                        break;
+                    }
+                }
+            }
+            name.expect("named field")
+        })
+        .collect()
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|var| {
+            let mut name = None;
+            let mut payload = None;
+            let mut iter = var.into_iter().peekable();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        payload = iter.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let name = name.expect("variant name");
+            match payload {
+                None => Variant::Unit(name),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = field_names(g.stream());
+                    Variant::Struct(name, fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = split_commas(g.stream()).len();
+                    assert_eq!(n, 1, "only single-field tuple variants are supported");
+                    Variant::Tuple(name)
+                }
+                other => panic!("unsupported variant payload {other:?}"),
+            }
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, vars) => {
+            let arms: String = vars
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Variant::Tuple(v) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        let bind = fields.join(", ");
+                        format!(
+                            "{name}::{v} {{ {bind} }} => {{\n\
+                                 let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\n\
+                                 ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__inner))])\n\
+                             }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, vars) => {
+            let unit_arms: String = vars
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = vars
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(__payload, \"{f}\")?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\"expected a {name} variant\".to_string())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

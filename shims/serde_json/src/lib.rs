@@ -1,0 +1,428 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string_pretty`], [`from_str`], an indexable [`Value`], and the
+//! [`json!`] macro (single-expression form).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+pub use serde::Value as InnerValue;
+use serde::{DeError, Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// A JSON value with `v["key"]` / `v[idx]` indexing like serde_json's.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(pub InnerValue);
+
+impl Value {
+    /// The `null` value.
+    pub const NULL: Value = Value(InnerValue::Null);
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self.0.get(key) {
+            Some(inner) => Value::wrap_ref(inner),
+            None => panic!("no key {key:?} in JSON object"),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match &self.0 {
+            InnerValue::Array(items) => Value::wrap_ref(&items[idx]),
+            _ => panic!("not a JSON array"),
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self.0.get_mut(key) {
+            Some(inner) => Value::wrap_mut(inner),
+            None => panic!("no key {key:?} in JSON object"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match &mut self.0 {
+            InnerValue::Array(items) => Value::wrap_mut(&mut items[idx]),
+            _ => panic!("not a JSON array"),
+        }
+    }
+}
+
+impl Value {
+    fn wrap_ref(inner: &InnerValue) -> &Value {
+        // SAFETY: Value is #[repr(transparent)] over InnerValue.
+        unsafe { &*(inner as *const InnerValue as *const Value) }
+    }
+
+    fn wrap_mut(inner: &mut InnerValue) -> &mut Value {
+        // SAFETY: Value is #[repr(transparent)] over InnerValue.
+        unsafe { &mut *(inner as *mut InnerValue as *mut Value) }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, &self.0, None, 0)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> InnerValue {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &InnerValue) -> Result<Self, DeError> {
+        Ok(Value(v.clone()))
+    }
+}
+
+/// Serializes a value into the JSON [`Value`] tree.
+pub fn to_value<T: Serialize>(t: &T) -> Value {
+    Value(t.to_value())
+}
+
+/// Builds a [`Value`] from any serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::NULL
+    };
+    ($e:expr) => {
+        $crate::to_value(&$e)
+    };
+}
+
+/// Serializes `t` as pretty-printed JSON.
+pub fn to_string_pretty<T: Serialize>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    use fmt::Write as _;
+    struct Disp<'a>(&'a InnerValue);
+    impl fmt::Display for Disp<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write_value(f, self.0, Some(2), 0)
+        }
+    }
+    write!(out, "{}", Disp(&t.to_value())).map_err(|e| Error::new(e.to_string()))?;
+    Ok(out)
+}
+
+/// Serializes `t` as compact JSON.
+pub fn to_string<T: Serialize>(t: &T) -> Result<String, Error> {
+    Ok(to_value(t).to_string())
+}
+
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    v: &InnerValue,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    let colon = if indent.is_some() { ": " } else { ":" };
+    match v {
+        InnerValue::Null => f.write_str("null"),
+        InnerValue::Bool(b) => write!(f, "{b}"),
+        InnerValue::U64(n) => write!(f, "{n}"),
+        InnerValue::I64(n) => write!(f, "{n}"),
+        InnerValue::F64(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(f, "{:.1}", x)
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        InnerValue::Str(s) => write_string(f, s),
+        InnerValue::Array(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad_in}")?;
+                write_value(f, item, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad}]")
+        }
+        InnerValue::Object(entries) => {
+            if entries.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad_in}")?;
+                write_string(f, k)?;
+                f.write_str(colon)?;
+                write_value(f, item, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad}}}")
+        }
+    }
+}
+
+fn write_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> Result<(), Error> {
+        if self.s[self.i..].starts_with(w.as_bytes()) {
+            self.i += w.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected {w:?} at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<InnerValue, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_word("null")?;
+                Ok(InnerValue::Null)
+            }
+            Some(b't') => {
+                self.eat_word("true")?;
+                Ok(InnerValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_word("false")?;
+                Ok(InnerValue::Bool(false))
+            }
+            Some(b'"') => Ok(InnerValue::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(InnerValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(InnerValue::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(InnerValue::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(InnerValue::Object(entries));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!("unexpected byte {}", self.i))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(Error::new("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<InnerValue, Error> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(InnerValue::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(InnerValue::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(InnerValue::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}

@@ -33,6 +33,12 @@ fn locks_use_topology_quanta_and_stay_correct() {
     let topo = enriched(&mcsim::presets::synthetic_small());
     // The educated quantum for the whole machine.
     let backoff = mctop_locks::BackoffCfg::from_mctop_all(&topo);
+    let view = mctop::view::TopoView::new(std::sync::Arc::new(topo.clone()));
+    let hwcs: Vec<usize> = (0..topo.num_hwcs()).collect();
+    assert_eq!(
+        mctop_locks::BackoffCfg::from_view(&view, &hwcs),
+        mctop_locks::BackoffCfg::from_mctop(&topo, &hwcs)
+    );
     assert_eq!(backoff.quantum_cycles, 290);
     for algo in mctop_locks::LockAlgo::ALL {
         let lock = algo.build(backoff);
@@ -120,6 +126,8 @@ fn work_stealing_follows_inferred_latencies() {
     let remote = topo.socket_get_hwcs(1)[0];
     let workers = vec![socket0[0], socket0[1], socket0[2], remote];
     let order = mctop_runtime::StealOrder::compute(&topo, &workers);
+    let view = mctop::view::TopoView::new(std::sync::Arc::new(topo.clone()));
+    assert_eq!(mctop_runtime::StealOrder::with_view(&view, &workers), order);
     // Closest victim of worker 0 is whatever has the lowest latency —
     // must not be the remote socket.
     assert_ne!(order.victims(0)[0], 3);

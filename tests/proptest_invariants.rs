@@ -9,6 +9,7 @@ use mcsim::{
     MachineSpec, //
 };
 use mctop::backend::SimProber;
+use mctop::view::TopoView;
 use mctop::ProbeConfig;
 use mctop_place::{
     PlaceOpts,
@@ -117,6 +118,76 @@ proptest! {
             .max()
             .unwrap();
         prop_assert_eq!(q, max);
+    }
+
+    /// The precomputed `TopoView` answers exactly match the naive
+    /// `Mctop` query-engine results, on every `mcsim` preset machine,
+    /// with and without measurement noise. This is the contract that
+    /// lets the placement/sort/runtime layers query the view instead of
+    /// the model arenas.
+    #[test]
+    fn topo_view_matches_naive_queries(seed in any::<u64>(), pick in prop::collection::vec(any::<u16>(), 1..8)) {
+        let mut specs = mcsim::presets::all_paper_platforms();
+        specs.extend(mcsim::presets::all_synthetic());
+        for spec in specs {
+            for noisy in [false, true] {
+                let cfg = ProbeConfig { reps: 3, ..ProbeConfig::fast() };
+                let inferred = if noisy {
+                    let mut p = SimProber::new(&spec, seed);
+                    // The equivalence property is about the view, not
+                    // about inference robustness: a machine whose noisy
+                    // probes never stabilize for this seed is skipped.
+                    match mctop::infer(&mut p, &ProbeConfig::fast()) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    }
+                } else {
+                    let mut p = SimProber::noiseless(&spec);
+                    let mut t = mctop::infer(&mut p, &cfg).expect("noiseless inference");
+                    // Enrich the noiseless run so the bandwidth-ranked
+                    // queries are exercised with real measurements.
+                    let mut mem = mctop::enrich::SimEnricher::new(&spec);
+                    let mut pow = mctop::enrich::SimEnricher::new(&spec);
+                    mctop::enrich::enrich_all(&mut t, &mut mem, &mut pow).expect("enrichment");
+                    t
+                };
+                let view = TopoView::build(&inferred).expect("inferred topologies have a socket level");
+                let topo = &inferred;
+                let s = topo.num_sockets();
+                prop_assert_eq!(view.socket_level(), topo.socket_level_index());
+                prop_assert_eq!(view.intra_socket_latency(), topo.intra_socket_latency());
+                for a in 0..s {
+                    prop_assert_eq!(view.closest_sockets(a), &topo.closest_sockets(a)[..]);
+                    prop_assert_eq!(
+                        view.socket_hwcs_cores_first(a),
+                        &topo.socket_hwcs_cores_first(a)[..]
+                    );
+                    prop_assert_eq!(view.socket_hwcs_compact(a), &topo.socket_hwcs_compact(a)[..]);
+                    for b in 0..s {
+                        prop_assert_eq!(view.socket_latency(a, b), topo.socket_latency(a, b));
+                        prop_assert_eq!(view.cross_bandwidth(a, b), topo.cross_bandwidth(a, b));
+                    }
+                }
+                prop_assert_eq!(view.min_latency_socket_pair(), topo.min_latency_socket_pair());
+                prop_assert_eq!(view.max_latency_socket_pair(), topo.max_latency_socket_pair());
+                prop_assert_eq!(
+                    view.sockets_by_local_bandwidth(),
+                    &topo.sockets_by_local_bandwidth()[..]
+                );
+                prop_assert_eq!(
+                    view.socket_order_bandwidth_proximity(),
+                    &topo.socket_order_bandwidth_proximity()[..]
+                );
+                let hwcs: Vec<usize> = pick.iter().map(|&x| x as usize % topo.num_hwcs()).collect();
+                prop_assert_eq!(view.sockets_used_by(&hwcs), topo.sockets_used_by(&hwcs));
+                prop_assert_eq!(view.min_bandwidth_of(&hwcs), topo.min_bandwidth_of(&hwcs));
+                prop_assert_eq!(view.max_latency_between(&hwcs), topo.max_latency_between(&hwcs));
+                for &h in &hwcs {
+                    prop_assert_eq!(view.socket_of(h), topo.socket_of(h));
+                    prop_assert_eq!(view.node_of(h), topo.get_local_node(h));
+                }
+            }
+        }
     }
 
     /// Sorting via the topology-aware path is always a sorted
