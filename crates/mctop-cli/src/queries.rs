@@ -1,0 +1,111 @@
+//! The `mct query` subcommand: the Section-5 query vocabulary answered
+//! from a description file, through the precomputed [`TopoView`] index.
+
+use std::sync::Arc;
+
+use mctop::TopoView;
+
+use crate::{
+    parse,
+    resolve,
+    CliError, //
+};
+
+pub fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let [target, query, rest @ ..] = args else {
+        return Err(CliError::Usage("query needs a <desc> and a query".into()));
+    };
+    let (topo, _) = resolve::load(target)?;
+    let view = TopoView::try_new(Arc::new(topo))?;
+
+    let int = |what: &str| -> Result<usize, CliError> {
+        let [s] = rest else {
+            return Err(CliError::Usage(format!("`{query}` takes one {what}")));
+        };
+        parse(s, what)
+    };
+    let pair = |what: &str| -> Result<(usize, usize), CliError> {
+        let [a, b] = rest else {
+            return Err(CliError::Usage(format!("`{query}` takes two {what}s")));
+        };
+        Ok((parse(a, what)?, parse(b, what)?))
+    };
+    let check_socket = |s: usize| -> Result<usize, CliError> {
+        if s < view.num_sockets() {
+            Ok(s)
+        } else {
+            Err(CliError::Failed(format!(
+                "socket {s} out of range (machine has {})",
+                view.num_sockets()
+            )))
+        }
+    };
+    let check_hwc = |h: usize| -> Result<usize, CliError> {
+        if h < view.num_hwcs() {
+            Ok(h)
+        } else {
+            Err(CliError::Failed(format!(
+                "context {h} out of range (machine has {})",
+                view.num_hwcs()
+            )))
+        }
+    };
+    let list = |ids: &[usize]| {
+        ids.iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    match query.as_str() {
+        "summary" => println!("{}", view.summary()),
+        "latency" => {
+            let (a, b) = pair("context")?;
+            println!("{}", view.get_latency(check_hwc(a)?, check_hwc(b)?));
+        }
+        "socket-latency" => {
+            let (a, b) = pair("socket")?;
+            println!(
+                "{}",
+                view.socket_latency(check_socket(a)?, check_socket(b)?)
+            );
+        }
+        "closest" => {
+            let s = check_socket(int("socket")?)?;
+            println!("{}", list(view.closest_sockets(s)));
+        }
+        "sockets-by-bw" => println!("{}", list(view.sockets_by_local_bandwidth())),
+        "walk" => println!("{}", list(view.socket_order_bandwidth_proximity())),
+        "max-latency" => println!("{}", view.max_latency()),
+        "socket-of" => println!("{}", view.socket_of(check_hwc(int("context")?)?)),
+        "core-of" => println!("{}", view.core_of(check_hwc(int("context")?)?)),
+        "node-of" => match view.node_of(check_hwc(int("context")?)?) {
+            Some(node) => println!("{node}"),
+            None => println!("unknown"),
+        },
+        "hwcs" => {
+            let (s, cores_first) = match rest {
+                [s] => (parse::<usize>(s, "socket")?, false),
+                [s, mode] if mode == "cores-first" => (parse::<usize>(s, "socket")?, true),
+                _ => {
+                    return Err(CliError::Usage(
+                        "`hwcs` takes a socket and optionally `cores-first`".into(),
+                    ))
+                }
+            };
+            let s = check_socket(s)?;
+            let ids = if cores_first {
+                view.socket_hwcs_cores_first(s)
+            } else {
+                view.socket_hwcs_compact(s)
+            };
+            println!("{}", list(ids));
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown query `{other}` (see `mct help`)"
+            )))
+        }
+    }
+    Ok(())
+}

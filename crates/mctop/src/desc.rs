@@ -4,7 +4,18 @@
 //!
 //! The format is versioned JSON — human-inspectable like the original
 //! `.mct` files, and stable across library versions thanks to the
-//! explicit version gate.
+//! explicit version gate. Every file carries a [`Provenance`] header
+//! recording how it was produced (machine name, probe configuration,
+//! seed, generator), so a loaded topology can always be traced back to
+//! the inference run that created it and regenerated bit-for-bit. A
+//! payload without the header is rejected with
+//! [`McTopError::InvalidDescription`] — a matching `version` number
+//! alone is not enough to accept a file.
+//!
+//! [`canonical`] is the single source of truth for the committed
+//! `descs/` library: a deterministic (noiseless, fixed-config)
+//! inference plus full enrichment. `mct regen-descs`, the shipped
+//! registry and the golden tests all go through it.
 
 use std::path::Path;
 
@@ -13,23 +24,115 @@ use serde::{
     Serialize, //
 };
 
+use crate::alg::probe::ProbeConfig;
 use crate::alg::validate;
+use crate::backend::SimProber;
+use crate::enrich::{
+    enrich_all,
+    SimEnricher, //
+};
 use crate::error::McTopError;
 use crate::model::Mctop;
 
-/// Current description-file format version.
-pub const VERSION: u32 = 1;
+/// Current description-file format version. Version 2 added the
+/// mandatory provenance header.
+pub const VERSION: u32 = 2;
+
+/// The generator string written by the canonical regeneration path.
+pub const CANONICAL_GENERATOR: &str = "mct regen-descs";
+
+/// How a description file was produced: the header embedded at the top
+/// of every file.
+///
+/// `format_version` must agree with the file's `version` field and
+/// `machine` with the topology's own name; [`from_str`] rejects files
+/// where they diverge, so a topology pasted into a newer envelope (or
+/// renamed on disk) does not load silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Format version the file was written with.
+    pub format_version: u32,
+    /// Machine the topology was inferred on.
+    pub machine: String,
+    /// Tool or code path that wrote the file.
+    pub generator: String,
+    /// Probe repetitions per context pair.
+    pub probe_reps: usize,
+    /// Accepted relative standard deviation of the probe samples.
+    pub probe_stdev_frac: f64,
+    /// Noise seed of the measurement backend; `None` for a noiseless
+    /// (fully deterministic) run.
+    pub seed: Option<u64>,
+    /// Whether the Section-4 enrichment plugins ran.
+    pub enriched: bool,
+}
+
+impl Provenance {
+    /// Header for a topology inferred on `machine` with `cfg`.
+    pub fn new(machine: &str, cfg: &ProbeConfig, seed: Option<u64>, enriched: bool) -> Provenance {
+        Provenance {
+            format_version: VERSION,
+            machine: machine.to_string(),
+            generator: "mctop".to_string(),
+            probe_reps: cfg.reps,
+            probe_stdev_frac: cfg.stdev_frac,
+            seed,
+            enriched,
+        }
+    }
+
+    /// Same header with an explicit generator string.
+    pub fn with_generator(mut self, generator: &str) -> Provenance {
+        self.generator = generator.to_string();
+        self
+    }
+}
 
 #[derive(Serialize, Deserialize)]
 struct DescFile {
     version: u32,
+    provenance: Provenance,
     topology: Mctop,
 }
 
-/// Serializes a topology to a description string.
-pub fn to_string(topo: &Mctop) -> Result<String, McTopError> {
+/// The probe configuration of the canonical regeneration path: few
+/// repetitions (the noiseless oracle returns identical samples, so the
+/// median is exact) with the default acceptance thresholds.
+pub fn canonical_probe_config() -> ProbeConfig {
+    ProbeConfig {
+        reps: 3,
+        ..ProbeConfig::fast()
+    }
+}
+
+/// Deterministically infers and enriches the canonical topology of a
+/// simulated machine: the exact content of the committed
+/// `descs/<name>.mct.json`. Noiseless probing, [`canonical_probe_config`],
+/// all enrichment plugins, nominal frequency attached.
+pub fn canonical(spec: &mcsim::MachineSpec) -> Result<(Mctop, Provenance), McTopError> {
+    let cfg = canonical_probe_config();
+    let mut prober = SimProber::noiseless(spec);
+    let mut topo = crate::alg::run(&mut prober, &cfg)?;
+    let mut mem = SimEnricher::new(spec);
+    let mut pow = SimEnricher::new(spec);
+    enrich_all(&mut topo, &mut mem, &mut pow)?;
+    topo.freq_ghz = Some(spec.freq_ghz);
+    let prov = Provenance::new(&spec.name, &cfg, None, true).with_generator(CANONICAL_GENERATOR);
+    Ok((topo, prov))
+}
+
+/// [`canonical`] rendered as description-file text.
+pub fn canonical_string(spec: &mcsim::MachineSpec) -> Result<String, McTopError> {
+    let (topo, prov) = canonical(spec)?;
+    to_string(&topo, &prov)
+}
+
+/// Serializes a topology and its provenance header to a description
+/// string.
+pub fn to_string(topo: &Mctop, prov: &Provenance) -> Result<String, McTopError> {
     serde_json::to_string_pretty(&DescFile {
         version: VERSION,
+        provenance: prov.clone(),
         topology: topo.clone(),
     })
     .map_err(|e| McTopError::InvalidDescription(e.to_string()))
@@ -37,29 +140,71 @@ pub fn to_string(topo: &Mctop) -> Result<String, McTopError> {
 
 /// Parses and validates a description string.
 pub fn from_str(s: &str) -> Result<Mctop, McTopError> {
-    let file: DescFile =
+    from_str_full(s).map(|(topo, _)| topo)
+}
+
+/// Parses and validates a description string, returning the provenance
+/// header alongside the topology.
+pub fn from_str_full(s: &str) -> Result<(Mctop, Provenance), McTopError> {
+    // Check the envelope before deserializing the payload, so files
+    // from other format versions fail with the version-gate message
+    // (not whatever field the full parse trips over first).
+    let raw: serde_json::Value =
         serde_json::from_str(s).map_err(|e| McTopError::InvalidDescription(e.to_string()))?;
-    if file.version != VERSION {
+    let version = raw
+        .0
+        .get("version")
+        .ok_or_else(|| McTopError::InvalidDescription("missing field `version`".into()))
+        .and_then(|v| {
+            u32::from_value(v).map_err(|e| McTopError::InvalidDescription(e.to_string()))
+        })?;
+    if version != VERSION {
         return Err(McTopError::InvalidDescription(format!(
-            "unsupported description version {} (expected {VERSION})",
-            file.version
+            "unsupported description version {version} (expected {VERSION})"
+        )));
+    }
+    if raw.0.get("provenance").is_none() {
+        return Err(McTopError::InvalidDescription(
+            "missing provenance header (a bare topology payload is not a description file)".into(),
+        ));
+    }
+    let file =
+        DescFile::from_value(&raw.0).map_err(|e| McTopError::InvalidDescription(e.to_string()))?;
+    // The header must agree with both the envelope and the payload: a
+    // field-for-field compatible topology is still rejected unless its
+    // provenance says it was written in this format for this machine.
+    if file.provenance.format_version != file.version {
+        return Err(McTopError::InvalidDescription(format!(
+            "provenance format_version {} disagrees with file version {}",
+            file.provenance.format_version, file.version
+        )));
+    }
+    if file.provenance.machine != file.topology.name {
+        return Err(McTopError::InvalidDescription(format!(
+            "provenance machine `{}` disagrees with topology name `{}`",
+            file.provenance.machine, file.topology.name
         )));
     }
     validate::validate(&file.topology)?;
-    Ok(file.topology)
+    Ok((file.topology, file.provenance))
 }
 
 /// Writes the description file for a topology.
-pub fn save(topo: &Mctop, path: &Path) -> Result<(), McTopError> {
-    std::fs::write(path, to_string(topo)?)?;
+pub fn save(topo: &Mctop, prov: &Provenance, path: &Path) -> Result<(), McTopError> {
+    std::fs::write(path, to_string(topo, prov)?)?;
     Ok(())
 }
 
 /// Loads a previously saved topology ("created once, then used to load
 /// the topology").
 pub fn load(path: &Path) -> Result<Mctop, McTopError> {
+    load_full(path).map(|(topo, _)| topo)
+}
+
+/// Loads a previously saved topology together with its provenance.
+pub fn load_full(path: &Path) -> Result<(Mctop, Provenance), McTopError> {
     let s = std::fs::read_to_string(path)?;
-    from_str(&s)
+    from_str_full(&s)
 }
 
 /// Default description-file name for a machine.
@@ -70,33 +215,31 @@ pub fn default_filename(machine_name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::alg::probe::ProbeConfig;
-    use crate::backend::SimProber;
     use mcsim::presets;
 
-    fn infer(spec: &mcsim::MachineSpec) -> Mctop {
+    fn infer_with_header(spec: &mcsim::MachineSpec) -> (Mctop, Provenance) {
         let mut p = SimProber::noiseless(spec);
-        let cfg = ProbeConfig {
-            reps: 3,
-            ..ProbeConfig::fast()
-        };
-        crate::alg::run(&mut p, &cfg).unwrap()
+        let cfg = canonical_probe_config();
+        let topo = crate::alg::run(&mut p, &cfg).unwrap();
+        let prov = Provenance::new(&spec.name, &cfg, None, false);
+        (topo, prov)
     }
 
     #[test]
-    fn roundtrip_preserves_topology() {
-        let topo = infer(&presets::synthetic_small());
-        let s = to_string(&topo).unwrap();
-        let back = from_str(&s).unwrap();
+    fn roundtrip_preserves_topology_and_provenance() {
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let s = to_string(&topo, &prov).unwrap();
+        let (back, back_prov) = from_str_full(&s).unwrap();
         assert_eq!(topo, back);
+        assert_eq!(prov, back_prov);
     }
 
     #[test]
     fn file_roundtrip() {
-        let topo = infer(&presets::no_smt_small());
+        let (topo, prov) = infer_with_header(&presets::no_smt_small());
         let dir = std::env::temp_dir();
         let path = dir.join(default_filename(&topo.name));
-        save(&topo, &path).unwrap();
+        save(&topo, &prov, &path).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(topo, back);
         let _ = std::fs::remove_file(&path);
@@ -104,18 +247,75 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected() {
-        let topo = infer(&presets::synthetic_small());
-        let s = to_string(&topo)
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let s = to_string(&topo, &prov)
             .unwrap()
-            .replace("\"version\": 1", "\"version\": 99");
+            .replace(&format!("\"version\": {VERSION}"), "\"version\": 99");
         let err = from_str(&s).unwrap_err();
         assert!(matches!(err, McTopError::InvalidDescription(_)));
     }
 
     #[test]
+    fn missing_provenance_rejected_not_defaulted() {
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let s = to_string(&topo, &prov).unwrap();
+        // Strip the header: a future-versioned payload that happens to
+        // match field-for-field must still be refused.
+        let mut v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        if let serde_json::InnerValue::Object(fields) = &mut v.0 {
+            fields.retain(|(k, _)| k != "provenance");
+        }
+        let err = from_str(&v.to_string()).unwrap_err();
+        match err {
+            McTopError::InvalidDescription(msg) => {
+                assert!(msg.contains("provenance"), "{msg}");
+            }
+            other => panic!("expected InvalidDescription, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn provenance_machine_mismatch_rejected() {
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let prov = Provenance {
+            machine: "somewhere-else".into(),
+            ..prov
+        };
+        let s = to_string(&topo, &prov).unwrap();
+        let err = from_str(&s).unwrap_err();
+        assert!(matches!(err, McTopError::InvalidDescription(_)), "{err}");
+    }
+
+    #[test]
+    fn provenance_format_version_mismatch_rejected() {
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let prov = Provenance {
+            format_version: VERSION + 1,
+            ..prov
+        };
+        let s = to_string(&topo, &prov).unwrap();
+        let err = from_str(&s).unwrap_err();
+        assert!(matches!(err, McTopError::InvalidDescription(_)), "{err}");
+    }
+
+    #[test]
+    fn old_format_version_hits_the_version_gate_first() {
+        // A v1-era file has no provenance header at all; it must fail
+        // with the version-gate message, not a missing-field parse
+        // error about a field v1 never had.
+        let s = r#"{"version": 1, "topology": {"name": "ivy"}}"#;
+        match from_str(s).unwrap_err() {
+            McTopError::InvalidDescription(msg) => {
+                assert!(msg.contains("unsupported description version 1"), "{msg}");
+            }
+            other => panic!("expected InvalidDescription, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corrupt_payload_rejected_by_validation() {
-        let topo = infer(&presets::synthetic_small());
-        let s = to_string(&topo).unwrap();
+        let (topo, prov) = infer_with_header(&presets::synthetic_small());
+        let s = to_string(&topo, &prov).unwrap();
         // Surgical corruption: make the latency table asymmetric.
         let mut v: serde_json::Value = serde_json::from_str(&s).unwrap();
         v["topology"]["lat_table"][1] = serde_json::json!(9999);
@@ -133,5 +333,17 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load(Path::new("/nonexistent/mctop.json")).unwrap_err();
         assert!(matches!(err, McTopError::Io(_)));
+    }
+
+    #[test]
+    fn canonical_is_deterministic() {
+        let a = canonical_string(&presets::synthetic_small()).unwrap();
+        let b = canonical_string(&presets::synthetic_small()).unwrap();
+        assert_eq!(a, b);
+        let (topo, prov) = from_str_full(&a).unwrap();
+        assert_eq!(prov.generator, CANONICAL_GENERATOR);
+        assert_eq!(prov.seed, None);
+        assert!(prov.enriched);
+        assert!(topo.caches.is_some());
     }
 }

@@ -24,7 +24,12 @@
 //!   queries with O(1) table lookups and is what the placement, sorting
 //!   and runtime layers build on.
 //! - [`fmt`]: Graphviz and textual renderings (Figs. 1-3).
-//! - [`desc`]: description files (create once, load afterwards).
+//! - [`desc`]: description files (create once, load afterwards), with a
+//!   mandatory provenance header and the canonical deterministic
+//!   generator behind the committed `descs/` library.
+//! - [`registry`]: [`registry::Registry`], the thread-safe loader that
+//!   resolves descriptions by machine name and memoizes one shared
+//!   [`Arc<TopoView>`](view::TopoView) per topology.
 //! - Probe backends: [`backend::SimProber`] over the `mcsim` machine
 //!   models, and on Linux [`host::HostProber`] which measures the real
 //!   machine the process runs on.
@@ -60,6 +65,7 @@ pub mod host;
 pub mod model;
 pub mod policies;
 pub mod query;
+pub mod registry;
 pub mod view;
 
 pub use alg::probe::{
@@ -68,6 +74,7 @@ pub use alg::probe::{
 };
 pub use error::McTopError;
 pub use model::Mctop;
+pub use registry::Registry;
 pub use view::TopoView;
 
 /// Runs the full MCTOP-ALG pipeline (Section 3): collects the latency

@@ -5,8 +5,7 @@
 
 use std::time::Instant;
 
-use mctop::backend::SimProber;
-use mctop::ProbeConfig;
+use mctop::Registry;
 use mctop_mapred::engine::{
     run_job,
     EngineCfg, //
@@ -22,9 +21,11 @@ use mctop_place::{
 };
 
 fn main() {
-    let spec = mcsim::presets::synthetic_small();
-    let mut prober = SimProber::noiseless(&spec);
-    let topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
+    // Load the topology from the shipped description library instead of
+    // re-running inference (Section 2: infer once, load everywhere).
+    let topo = Registry::shipped()
+        .topo("synth-small")
+        .expect("shipped description");
 
     let text = gen_text(20_000, 50, 20_000, 7);
     let threads = std::thread::available_parallelism()

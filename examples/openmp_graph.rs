@@ -4,11 +4,9 @@
 //!
 //! Run with `cargo run --release --example openmp_graph`.
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use mctop::backend::SimProber;
-use mctop::ProbeConfig;
+use mctop::Registry;
 use mctop_omp::autoselect::auto_select;
 use mctop_omp::graph::Graph;
 use mctop_omp::workloads::{
@@ -20,9 +18,11 @@ use mctop_omp::OmpRuntime;
 use mctop_place::Policy;
 
 fn main() {
-    let spec = mcsim::presets::synthetic_small();
-    let mut prober = SimProber::noiseless(&spec);
-    let topo = Arc::new(mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference"));
+    // The runtime loads its topology from the shipped description
+    // library; inference ran once, at `mct regen-descs` time.
+    let topo = Registry::shipped()
+        .topo("synth-small")
+        .expect("shipped description");
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(2)

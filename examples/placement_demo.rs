@@ -3,13 +3,7 @@
 //!
 //! Run with `cargo run --example placement_demo`.
 
-use mctop::backend::SimProber;
-use mctop::enrich::{
-    enrich_all,
-    SimEnricher, //
-};
-use mctop::view::TopoView;
-use mctop::ProbeConfig;
+use mctop::Registry;
 use mctop_place::{
     PlaceOpts,
     Placement,
@@ -17,14 +11,12 @@ use mctop_place::{
 };
 
 fn main() {
-    let spec = mcsim::presets::ivy();
-    let mut prober = SimProber::noiseless(&spec);
-    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
-    let mut mem = SimEnricher::new(&spec);
-    let mut pow = SimEnricher::new(&spec);
-    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
-    // One precomputed view serves all twelve placements.
-    let view = TopoView::new(std::sync::Arc::new(topo));
+    // Ivy's topology comes from the shipped description library — no
+    // inference here. One registry-cached view serves all twelve
+    // placements.
+    let view = Registry::shipped()
+        .view("ivy")
+        .expect("shipped description");
 
     // The Fig. 7 printout.
     let fig7 = Placement::with_view(&view, Policy::ConHwc, PlaceOpts::threads(30)).expect("place");

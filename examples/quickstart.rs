@@ -47,10 +47,22 @@ fn main() {
     let divergences = validate::compare_with_os(&topo, &os);
     println!("divergences vs OS     = {divergences:?}");
 
-    // 6. Persist the description file and load it back (Section 2).
-    let path = std::env::temp_dir().join(mctop::desc::default_filename(&topo.name));
-    mctop::desc::save(&topo, &path).expect("save");
-    let reloaded = mctop::desc::load(&path).expect("load");
-    assert_eq!(topo, reloaded);
+    // 6. Persist the description file — with its provenance header, so
+    //    anyone loading it later can see how it was produced (Section 2).
+    let prov = mctop::desc::Provenance::new(&topo.name, &ProbeConfig::fast(), Some(42), true)
+        .with_generator("quickstart example");
+    let dir = std::env::temp_dir();
+    let path = dir.join(mctop::desc::default_filename(&topo.name));
+    mctop::desc::save(&topo, &prov, &path).expect("save");
     println!("description file      = {}", path.display());
+
+    // 7. "Load everywhere": a Registry resolves descriptions by machine
+    //    name and memoizes one shared TopoView per topology, so every
+    //    later consumer skips both inference and index construction.
+    let registry = mctop::Registry::with_dir(&dir);
+    let view = registry.view(&topo.name).expect("registry load");
+    assert_eq!(**view.topo(), topo);
+    let again = registry.view(&topo.name).expect("cached");
+    assert!(std::sync::Arc::ptr_eq(&view, &again));
+    println!("registry              = same Arc<TopoView> on repeat lookup");
 }

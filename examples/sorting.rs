@@ -5,13 +5,7 @@
 
 use std::time::Instant;
 
-use mctop::backend::SimProber;
-use mctop::enrich::{
-    enrich_all,
-    SimEnricher, //
-};
-use mctop::view::TopoView;
-use mctop::ProbeConfig;
+use mctop::Registry;
 use rand::rngs::SmallRng;
 use rand::{
     Rng,
@@ -20,14 +14,11 @@ use rand::{
 
 fn main() {
     // --- Real sort on the host ------------------------------------------
-    let spec = mcsim::presets::synthetic_small();
-    let mut prober = SimProber::noiseless(&spec);
-    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
-    let mut mem = SimEnricher::new(&spec);
-    let mut pow = SimEnricher::new(&spec);
-    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
-    // One precomputed view serves every sort below.
-    let view = TopoView::new(std::sync::Arc::new(topo));
+    // Topologies come from the shipped description library: inferred
+    // once by `mct regen-descs`, loaded (and indexed) here in
+    // microseconds. One shared view serves every sort below.
+    let registry = Registry::shipped();
+    let view = registry.view("synth-small").expect("shipped description");
 
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -65,11 +56,7 @@ fn main() {
     println!("\nFig. 9 model (1 GB of integers, 16 threads):");
     let cfg = SortModelCfg::default();
     for spec in mcsim::presets::all_paper_platforms() {
-        let mut prober = SimProber::noiseless(&spec);
-        let mut t = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
-        let mut mem = SimEnricher::new(&spec);
-        let mut pow = SimEnricher::new(&spec);
-        enrich_all(&mut t, &mut mem, &mut pow).expect("enrichment");
+        let t = registry.topo(&spec.name).expect("shipped description");
         let col = fig9_column(&spec, &t, 16, &cfg);
         let cells: Vec<String> = col
             .iter()

@@ -5,32 +5,32 @@
 //! machine is one of: ivy, opteron, haswell, westmere, sparc,
 //! synth-small, synth-clustered, synth-single, synth-nosmt,
 //! synth-shared-node, synth-scrambled. Default: opteron (Fig. 1).
+//!
+//! Topologies are loaded from the shipped description library (the
+//! committed `descs/` files) through the registry — no inference runs
+//! here, exactly as the paper intends for topology consumers.
 
-use mctop::backend::SimProber;
-use mctop::enrich::{
-    enrich_all,
-    SimEnricher, //
-};
-use mctop::ProbeConfig;
+use mctop::registry;
+use mctop::Registry;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "opteron".into());
-    let Some(spec) = mcsim::presets::by_name(&name) else {
-        eprintln!("unknown machine '{name}'");
-        std::process::exit(1);
+    let registry = Registry::shipped();
+    let view = match registry.view(&name) {
+        Ok(view) => view,
+        Err(e) => {
+            eprintln!("cannot load '{name}': {e}");
+            eprintln!("known machines: {}", registry::shipped_names().join(", "));
+            std::process::exit(1);
+        }
     };
+    let topo = view.topo();
 
-    let mut prober = SimProber::new(&spec, 1);
-    let mut topo = mctop::infer(&mut prober, &ProbeConfig::fast()).expect("inference");
-    let mut mem = SimEnricher::new(&spec);
-    let mut pow = SimEnricher::new(&spec);
-    enrich_all(&mut topo, &mut mem, &mut pow).expect("enrichment");
-
-    println!("{}", mctop::fmt::text::render(&topo));
+    println!("{}", mctop::fmt::text::render(topo));
     println!("--- intra-socket graph (socket 0) ---");
-    println!("{}", mctop::fmt::dot::intra_socket(&topo, 0));
+    println!("{}", mctop::fmt::dot::intra_socket(topo, 0));
     if topo.num_sockets() > 1 {
         println!("--- cross-socket graph ---");
-        println!("{}", mctop::fmt::dot::cross_socket(&topo));
+        println!("{}", mctop::fmt::dot::cross_socket(topo));
     }
 }

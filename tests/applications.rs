@@ -3,29 +3,19 @@
 
 use std::sync::Arc;
 
-use mctop::backend::SimProber;
-use mctop::enrich::{
-    enrich_all,
-    SimEnricher, //
-};
-use mctop::ProbeConfig;
 use mctop_place::{
     PlaceOpts,
     Placement,
     Policy, //
 };
 
+/// The canonical enriched topology of a preset, loaded from the shipped
+/// description library (inference ran once, at `mct regen-descs` time).
 fn enriched(spec: &mcsim::MachineSpec) -> mctop::Mctop {
-    let mut p = SimProber::noiseless(spec);
-    let cfg = ProbeConfig {
-        reps: 3,
-        ..ProbeConfig::fast()
-    };
-    let mut topo = mctop::infer(&mut p, &cfg).unwrap();
-    let mut mem = SimEnricher::new(spec);
-    let mut pow = SimEnricher::new(spec);
-    enrich_all(&mut topo, &mut mem, &mut pow).unwrap();
-    topo
+    (*mctop::Registry::shipped()
+        .topo(&spec.name)
+        .expect("preset is in the shipped library"))
+    .clone()
 }
 
 #[test]

@@ -2,31 +2,37 @@
 //! to load the topology") across every platform, enriched and not.
 
 use mctop::backend::SimProber;
+use mctop::desc::Provenance;
 use mctop::enrich::{
     enrich_all,
     SimEnricher, //
 };
 use mctop::ProbeConfig;
 
+fn cfg() -> ProbeConfig {
+    ProbeConfig {
+        reps: 3,
+        ..ProbeConfig::fast()
+    }
+}
+
 #[test]
 fn roundtrip_every_platform_enriched() {
     let dir = std::env::temp_dir();
     for spec in mcsim::presets::all_paper_platforms() {
         let mut p = SimProber::noiseless(&spec);
-        let cfg = ProbeConfig {
-            reps: 3,
-            ..ProbeConfig::fast()
-        };
-        let mut topo = mctop::infer(&mut p, &cfg).unwrap();
+        let mut topo = mctop::infer(&mut p, &cfg()).unwrap();
         let mut mem = SimEnricher::new(&spec);
         let mut pow = SimEnricher::new(&spec);
         enrich_all(&mut topo, &mut mem, &mut pow).unwrap();
         topo.freq_ghz = Some(spec.freq_ghz);
+        let prov = Provenance::new(&spec.name, &cfg(), None, true);
 
         let path = dir.join(mctop::desc::default_filename(&format!("it-{}", spec.name)));
-        mctop::desc::save(&topo, &path).unwrap();
-        let loaded = mctop::desc::load(&path).unwrap();
+        mctop::desc::save(&topo, &prov, &path).unwrap();
+        let (loaded, loaded_prov) = mctop::desc::load_full(&path).unwrap();
         assert_eq!(topo, loaded, "{}", spec.name);
+        assert_eq!(prov, loaded_prov, "{}", spec.name);
         // The reloaded topology answers queries identically.
         assert_eq!(loaded.max_latency(), topo.max_latency());
         assert_eq!(loaded.closest_sockets(0), topo.closest_sockets(0));
@@ -38,14 +44,19 @@ fn roundtrip_every_platform_enriched() {
 fn description_is_human_inspectable_json() {
     let spec = mcsim::presets::synthetic_small();
     let mut p = SimProber::noiseless(&spec);
-    let cfg = ProbeConfig {
-        reps: 3,
-        ..ProbeConfig::fast()
-    };
-    let topo = mctop::infer(&mut p, &cfg).unwrap();
-    let s = mctop::desc::to_string(&topo).unwrap();
-    // Key structures visible by name.
-    for needle in ["\"sockets\"", "\"levels\"", "\"lat_table\"", "\"version\""] {
+    let topo = mctop::infer(&mut p, &cfg()).unwrap();
+    let prov = Provenance::new(&spec.name, &cfg(), None, false);
+    let s = mctop::desc::to_string(&topo, &prov).unwrap();
+    // Key structures visible by name, provenance header included.
+    for needle in [
+        "\"sockets\"",
+        "\"levels\"",
+        "\"lat_table\"",
+        "\"version\"",
+        "\"provenance\"",
+        "\"machine\"",
+        "\"generator\"",
+    ] {
         assert!(s.contains(needle), "missing {needle}");
     }
 }
@@ -54,12 +65,9 @@ fn description_is_human_inspectable_json() {
 fn loading_rejects_tampered_hierarchies() {
     let spec = mcsim::presets::synthetic_small();
     let mut p = SimProber::noiseless(&spec);
-    let cfg = ProbeConfig {
-        reps: 3,
-        ..ProbeConfig::fast()
-    };
-    let topo = mctop::infer(&mut p, &cfg).unwrap();
-    let s = mctop::desc::to_string(&topo).unwrap();
+    let topo = mctop::infer(&mut p, &cfg()).unwrap();
+    let prov = Provenance::new(&spec.name, &cfg(), None, false);
+    let s = mctop::desc::to_string(&topo, &prov).unwrap();
     let mut v: serde_json::Value = serde_json::from_str(&s).unwrap();
     // Move a context into the wrong socket record.
     v["topology"]["sockets"][0]["hwcs"][0] = serde_json::json!(99);

@@ -1,0 +1,106 @@
+//! Golden coverage of the committed `descs/` library: every file must
+//! be exactly what the canonical inference pipeline produces today
+//! (inference determinism + format stability), and the registry must
+//! serve it as one shared view.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mctop::desc;
+use mctop::registry::{
+    self,
+    Registry, //
+};
+
+fn descs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("descs")
+}
+
+fn all_specs() -> Vec<mcsim::MachineSpec> {
+    mcsim::presets::all_paper_platforms()
+        .into_iter()
+        .chain(mcsim::presets::all_synthetic())
+        .collect()
+}
+
+/// `load(descs/<name>) == alg::run(preset)` (+ enrichment) for every
+/// preset, down to the exact bytes: the committed artifact and a fresh
+/// canonical inference agree (the pipeline is noiseless, so there is no
+/// measurement noise to tolerate), and `mct regen-descs` on a clean
+/// tree is a no-op diff (what the golden-descriptions CI job enforces
+/// through the binary).
+#[test]
+fn committed_descs_match_fresh_canonical_inference() {
+    for spec in all_specs() {
+        let path = descs_dir().join(desc::default_filename(&spec.name));
+        let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
+        let (fresh, fresh_prov) = desc::canonical(&spec).expect("canonical inference");
+        let rendered = desc::to_string(&fresh, &fresh_prov).expect("render");
+        assert_eq!(on_disk, rendered, "{}: descs/ file is stale", spec.name);
+        // And the artifact loads back to that same inference result.
+        let (loaded, prov) = desc::from_str_full(&on_disk).unwrap_or_else(|e| {
+            panic!("{}: cannot load {}: {e}", spec.name, path.display());
+        });
+        assert_eq!(loaded, fresh, "{}: loaded desc diverges", spec.name);
+        assert_eq!(prov, fresh_prov, "{}: provenance drifted", spec.name);
+    }
+}
+
+/// The shipped (compiled-in) library is the same set of files.
+#[test]
+fn shipped_library_matches_committed_files() {
+    let mut names = registry::shipped_names();
+    names.sort_unstable();
+    let mut specs: Vec<String> = all_specs().iter().map(|s| s.name.clone()).collect();
+    specs.sort();
+    assert_eq!(names, specs);
+    for name in registry::shipped_names() {
+        let path = descs_dir().join(desc::default_filename(name));
+        let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
+        assert_eq!(
+            registry::shipped_source(name),
+            Some(on_disk.as_str()),
+            "{name}: compiled-in copy is stale"
+        );
+    }
+}
+
+/// Repeated and concurrent registry lookups share one `Arc<TopoView>`.
+#[test]
+fn registry_shares_one_view_per_topology() {
+    let reg = Arc::new(Registry::shipped());
+    let first = reg.view("sparc").expect("shipped sparc");
+    assert!(Arc::ptr_eq(&first, &reg.view("sparc").unwrap()));
+
+    let views: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || reg.view("sparc").unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for view in &views {
+        assert!(Arc::ptr_eq(&first, view));
+    }
+    assert_eq!(reg.cached(), 1);
+}
+
+/// Every shipped description builds a view and answers the basic
+/// queries the application layers rely on.
+#[test]
+fn every_shipped_description_serves_queries() {
+    let reg = Registry::shipped();
+    for spec in all_specs() {
+        let view = reg.view(&spec.name).expect("loadable");
+        assert_eq!(view.num_hwcs(), spec.total_hwcs(), "{}", spec.name);
+        assert_eq!(view.num_sockets(), spec.sockets, "{}", spec.name);
+        assert!(view.intra_socket_latency() > 0, "{}", spec.name);
+        assert!(view.socket_level().is_some(), "{}", spec.name);
+        // Enrichment made it into the artifact.
+        assert!(view.topo().caches.is_some(), "{}", spec.name);
+        assert_eq!(view.topo().freq_ghz, Some(spec.freq_ghz), "{}", spec.name);
+    }
+    assert_eq!(reg.cached(), all_specs().len());
+}
