@@ -7,14 +7,13 @@ use mctop_omp::graph::Graph;
 use mctop_omp::workloads::pagerank;
 use mctop_omp::OmpRuntime;
 use mctop_place::Policy;
-use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_omp(c: &mut Criterion) {
     let mut g = c.benchmark_group("omp");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     let spec = mcsim::presets::synthetic_small();
-    let topo = Arc::new(enriched_topology(&spec));
+    let topo = enriched_topology(&spec);
     let graph = Graph::synthetic(20_000, 8, 3);
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())

@@ -1,0 +1,156 @@
+//! Inference-speed benchmark: sequential vs parallel MCTOP-ALG
+//! collection on the paper platforms, emitted as `BENCH_inference.json`
+//! for the CI bench trajectory.
+//!
+//! Usage: `inference_speed [OUT_PATH]` (default `BENCH_inference.json`).
+//!
+//! Two cost views per platform and worker count:
+//!
+//! - **wall_ms** — measured wall-clock of the collection phase over the
+//!   simulated oracle on the machine running this binary (real thread
+//!   parallelism; interpret against `hw_threads`).
+//! - **modeled_s** / **modeled_parallel_s** — the Section 3.5 cycle
+//!   accounting at the platform's nominal frequency: total work, and
+//!   the critical path through the disjoint-pair rounds (what the
+//!   parallel schedule would cost on the modelled hardware itself).
+//!
+//! The determinism contract means every row of a platform describes the
+//! *same* latency table — the worker count only moves time around.
+
+use std::time::Instant;
+
+use mctop::alg::probe::{
+    collect,
+    collect_parallel,
+    ProbeStats, //
+};
+use mctop::backend::SimProber;
+use mctop::ProbeConfig;
+use serde::Serialize;
+
+const SEED: u64 = 42;
+const REPS: usize = 25;
+const JOBS: &[usize] = &[2, 4, 8];
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    reps: usize,
+    /// Hardware threads of the machine that produced the wall times.
+    hw_threads: usize,
+    platforms: Vec<Platform>,
+}
+
+#[derive(Serialize)]
+struct Platform {
+    preset: String,
+    contexts: usize,
+    pairs: u64,
+    runs: Vec<Run>,
+    /// Wall-clock speedup of the highest worker count vs sequential.
+    wall_speedup: f64,
+    /// Modelled critical-path speedup of the highest worker count vs
+    /// sequential (the schedule-level speedup on the platform itself).
+    modeled_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Run {
+    jobs: usize,
+    wall_ms: f64,
+    modeled_s: f64,
+    modeled_parallel_s: f64,
+}
+
+fn measure(spec: &mcsim::MachineSpec, cfg: &ProbeConfig, jobs: usize) -> (f64, ProbeStats) {
+    let mut prober = SimProber::new(spec, SEED);
+    let start = Instant::now();
+    let (_, stats) = if jobs <= 1 {
+        collect(&mut prober, cfg).expect("collection succeeds")
+    } else {
+        collect_parallel(&mut prober, cfg, jobs).expect("collection succeeds")
+    };
+    (start.elapsed().as_secs_f64() * 1e3, stats)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_inference.json".into());
+    let cfg = ProbeConfig {
+        reps: REPS,
+        ..ProbeConfig::fast()
+    };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut platforms = Vec::new();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let mut runs = Vec::new();
+        let (seq_ms, seq_stats) = measure(&spec, &cfg, 1);
+        runs.push(Run {
+            jobs: 1,
+            wall_ms: seq_ms,
+            modeled_s: seq_stats.modeled_seconds(spec.freq_ghz),
+            modeled_parallel_s: seq_stats.modeled_parallel_seconds(spec.freq_ghz),
+        });
+        for &jobs in JOBS {
+            let (wall_ms, stats) = measure(&spec, &cfg, jobs);
+            runs.push(Run {
+                jobs,
+                wall_ms,
+                modeled_s: stats.modeled_seconds(spec.freq_ghz),
+                modeled_parallel_s: stats.modeled_parallel_seconds(spec.freq_ghz),
+            });
+        }
+        let last = runs.last().expect("at least the sequential run");
+        let platform = Platform {
+            preset: spec.name.clone(),
+            contexts: spec.total_hwcs(),
+            pairs: seq_stats.pairs,
+            wall_speedup: seq_ms / last.wall_ms,
+            modeled_speedup: runs[0].modeled_parallel_s / last.modeled_parallel_s,
+            runs,
+        };
+        eprintln!(
+            "{:<9} {:>4} ctxs  {:>7} pairs  seq {:>8.1} ms  j{} {:>8.1} ms  \
+             wall x{:.2}  modeled x{:.2}",
+            platform.preset,
+            platform.contexts,
+            platform.pairs,
+            seq_ms,
+            JOBS.last().unwrap(),
+            platform.runs.last().unwrap().wall_ms,
+            platform.wall_speedup,
+            platform.modeled_speedup,
+        );
+        // The speedup gate, on the deterministic quantity: the modelled
+        // critical path must shrink at least 4x at the top worker count
+        // on every big platform. (wall_speedup depends on the machine
+        // running the bench — a few-core CI runner can't parallelize
+        // CPU-bound simulation — so it is recorded but not gated.)
+        if platform.contexts >= 64 {
+            assert!(
+                platform.modeled_speedup >= 4.0,
+                "{}: modelled speedup {:.2} < 4x at jobs={}",
+                platform.preset,
+                platform.modeled_speedup,
+                JOBS.last().unwrap()
+            );
+        }
+        platforms.push(platform);
+    }
+
+    let report = Report {
+        bench: "inference",
+        seed: SEED,
+        reps: REPS,
+        hw_threads,
+        platforms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

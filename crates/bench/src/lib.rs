@@ -29,17 +29,18 @@ fn is_pristine_preset(spec: &MachineSpec) -> bool {
 }
 
 /// The canonical (noiseless, fully enriched) topology of a preset: the
-/// starting point of every experiment harness. Pristine presets load
-/// from the shipped description library; anything else (hand-modified
-/// machines) gets a fresh canonical inference.
-pub fn enriched_topology(spec: &MachineSpec) -> Mctop {
+/// starting point of every experiment harness. Pristine presets share
+/// the registry-cached `Arc` (no per-call deep clone of the model
+/// arenas); anything else (hand-modified machines) gets a fresh
+/// canonical inference.
+pub fn enriched_topology(spec: &MachineSpec) -> Arc<Mctop> {
     if is_pristine_preset(spec) {
         if let Ok(topo) = registry().topo(&spec.name) {
-            return (*topo).clone();
+            return topo;
         }
     }
     let (topo, _) = mctop::desc::canonical(spec).expect("inference succeeds on presets");
-    topo
+    Arc::new(topo)
 }
 
 /// Infers with realistic noise and DVFS (the harness path that
@@ -59,9 +60,7 @@ pub fn enriched_view(spec: &MachineSpec) -> Arc<TopoView> {
             return view;
         }
     }
-    Arc::new(
-        TopoView::try_new(Arc::new(enriched_topology(spec))).expect("presets have a socket level"),
-    )
+    Arc::new(TopoView::try_new(enriched_topology(spec)).expect("presets have a socket level"))
 }
 
 #[cfg(test)]

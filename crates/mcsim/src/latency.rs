@@ -34,12 +34,29 @@ pub struct LatencyOracle<'m> {
     spec: &'m MachineSpec,
     noise: NoiseCfg,
     dvfs: DvfsCfg,
+    /// Base seed of the run; per-stream generators are derived from it
+    /// (see [`LatencyOracle::reseed_stream`]).
+    seed: u64,
     rng: SmallRng,
     /// Per-core busy units, drives the DVFS factor.
     warmth: Vec<u32>,
     /// Total raw probes issued (for the inference-cost accounting of
     /// Section 3.5).
     probes: u64,
+}
+
+/// Derives the seed of an independent randomness stream from the run
+/// seed and a stream tag (a strong 128-bit-ish mix, so `(seed, tag)`
+/// pairs land far apart even for adjacent tags).
+pub fn stream_seed(seed: u64, tag: u64) -> u64 {
+    // splitmix64 finalizer over both words, chained.
+    let mut z = seed ^ tag.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= tag;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<'m> LatencyOracle<'m> {
@@ -54,10 +71,23 @@ impl<'m> LatencyOracle<'m> {
             spec,
             noise,
             dvfs,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
             warmth: vec![0; spec.total_cores()],
             probes: 0,
         }
+    }
+
+    /// Rebinds the oracle's randomness to the stream identified by
+    /// `tag`: from here on, samples are drawn from a generator seeded
+    /// with [`stream_seed`]`(seed, tag)` regardless of how many samples
+    /// any other stream consumed. This is what makes measurement
+    /// results a pure function of `(seed, stream, sample index)` — the
+    /// foundation of the deterministic parallel collection contract
+    /// (two oracles cloned from the same run produce identical samples
+    /// for the same stream, in any global order).
+    pub fn reseed_stream(&mut self, tag: u64) {
+        self.rng = SmallRng::seed_from_u64(stream_seed(self.seed, tag));
     }
 
     /// Noise-free oracle (still includes the rdtsc cost in raw probes).

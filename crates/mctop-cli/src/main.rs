@@ -49,12 +49,19 @@ mct — MCTOP description tooling (infer once, store, load everywhere)
 
 USAGE:
     mct list
-    mct infer <machine> [--seed N] [--reps N] [--no-enrich] [--out PATH] [--stdout]
+    mct infer <machine> [--seed N] [--reps N] [--jobs N] [--adaptive]
+                        [--no-enrich] [--out PATH] [--stdout]
     mct validate <desc>...
     mct show <desc> [--format text|dot|summary]
     mct query <desc> <query> [args...]
     mct diff <a> <b>
-    mct regen-descs [--dir DIR] [--check]
+    mct regen-descs [--dir DIR] [--check] [--jobs N]
+
+Collection is deterministic in the worker count: --jobs only changes
+wall-clock time (disjoint context pairs are measured concurrently),
+never a single output byte. --adaptive measures every pair with a cheap
+pilot pass and spends the full repetitions only on pairs near latency
+cluster boundaries.
 
 A <desc> is a machine name from `mct list` (resolved against the
 shipped description library) or a path to a *.mct.json file.
@@ -153,6 +160,24 @@ fn cmd_list() -> Result<(), CliError> {
     Ok(())
 }
 
+/// Pulls `--jobs N` out of `args` and resolves the worker count for
+/// parallel collection: explicit value, or the machine's parallelism
+/// capped at 8 (the schedule has at most ⌊N/2⌋ disjoint pairs per
+/// round and returns diminish well before that).
+fn take_jobs(args: &mut Vec<String>) -> Result<usize, CliError> {
+    let jobs = take_flag(args, "--jobs")?
+        .map(|s| parse::<usize>(&s, "jobs"))
+        .transpose()?;
+    if jobs == Some(0) {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    Ok(jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(1)
+    }))
+}
+
 fn cmd_infer(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let seed = take_flag(&mut args, "--seed")?
@@ -161,8 +186,10 @@ fn cmd_infer(args: &[String]) -> Result<(), CliError> {
     let reps = take_flag(&mut args, "--reps")?
         .map(|s| parse::<usize>(&s, "reps"))
         .transpose()?;
+    let jobs = take_jobs(&mut args)?;
     let out = take_flag(&mut args, "--out")?.map(PathBuf::from);
     let no_enrich = take_switch(&mut args, "--no-enrich");
+    let adaptive = take_switch(&mut args, "--adaptive");
     let to_stdout = take_switch(&mut args, "--stdout");
     if reps == Some(0) {
         return Err(CliError::Usage("--reps must be at least 1".into()));
@@ -181,11 +208,15 @@ fn cmd_infer(args: &[String]) -> Result<(), CliError> {
         ))
     })?;
 
+    // The worker count never changes a byte of output (the determinism
+    // contract of `collect_parallel`), so it does not affect which
+    // pipeline runs below and is not recorded in the provenance.
+
     // With no overrides this is exactly the canonical pipeline behind
     // `descs/` — reuse it so `mct infer <machine>` can never diverge
     // from `mct regen-descs` output (only the generator string differs).
-    let (topo, prov) = if seed.is_none() && reps.is_none() && !no_enrich {
-        desc::canonical(&spec)?
+    let (topo, prov) = if seed.is_none() && reps.is_none() && !no_enrich && !adaptive {
+        desc::canonical_jobs(&spec, jobs)?
     } else {
         // Noiseless by default (deterministic); --seed switches to the
         // noisy backend, which also needs the full repetition count.
@@ -196,14 +227,17 @@ fn cmd_infer(args: &[String]) -> Result<(), CliError> {
         if let Some(reps) = reps {
             cfg.reps = reps;
         }
+        if adaptive {
+            cfg.adaptive = Some(mctop::AdaptiveCfg::default());
+        }
         let mut topo = match seed {
             Some(seed) => {
                 let mut prober = mctop::backend::SimProber::new(&spec, seed);
-                mctop::infer(&mut prober, &cfg)?
+                mctop::infer_jobs(&mut prober, &cfg, jobs)?
             }
             None => {
                 let mut prober = mctop::backend::SimProber::noiseless(&spec);
-                mctop::infer(&mut prober, &cfg)?
+                mctop::infer_jobs(&mut prober, &cfg, jobs)?
             }
         };
         if !no_enrich {
@@ -293,6 +327,7 @@ fn cmd_regen(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let dir = PathBuf::from(take_flag(&mut args, "--dir")?.unwrap_or_else(|| "descs".into()));
     let check = take_switch(&mut args, "--check");
+    let jobs = take_jobs(&mut args)?;
     if !args.is_empty() {
         return Err(CliError::Usage(format!(
             "unexpected regen-descs argument `{}`",
@@ -309,7 +344,7 @@ fn cmd_regen(args: &[String]) -> Result<(), CliError> {
         std::fs::create_dir_all(&dir).map_err(|e| CliError::Failed(e.to_string()))?;
     }
     for spec in &specs {
-        let text = desc::canonical_string(spec)?;
+        let text = desc::canonical_string_jobs(spec, jobs)?;
         let path = dir.join(desc::default_filename(&spec.name));
         if check {
             match std::fs::read_to_string(&path) {

@@ -139,6 +139,55 @@ fn regen_descs_roundtrip_and_check() {
 }
 
 #[test]
+fn jobs_flag_never_changes_output() {
+    // The determinism contract through the binary: any worker count
+    // produces the identical description, noiseless and seeded alike.
+    let base = mct(&["infer", "ivy", "--stdout"]);
+    assert_success(&base, "infer jobs default");
+    for jobs in ["1", "4"] {
+        let out = mct(&["infer", "ivy", "--jobs", jobs, "--stdout"]);
+        assert_success(&out, "infer --jobs");
+        assert_eq!(stdout(&base), stdout(&out), "--jobs {jobs} changed bytes");
+    }
+    let seeded1 = mct(&[
+        "infer",
+        "synth-small",
+        "--seed",
+        "5",
+        "--jobs",
+        "1",
+        "--stdout",
+    ]);
+    let seeded3 = mct(&[
+        "infer",
+        "synth-small",
+        "--seed",
+        "5",
+        "--jobs",
+        "3",
+        "--stdout",
+    ]);
+    assert_success(&seeded1, "seeded jobs=1");
+    assert_success(&seeded3, "seeded jobs=3");
+    assert_eq!(stdout(&seeded1), stdout(&seeded3));
+
+    // --jobs 0 is a usage error (exit 2), like every bad invocation.
+    let out = mct(&["infer", "ivy", "--jobs", "0", "--stdout"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn adaptive_inference_produces_a_valid_description() {
+    let out = mct(&["infer", "ivy", "--adaptive", "--stdout"]);
+    assert_success(&out, "infer --adaptive");
+    // Adaptive + noiseless pilot medians are exact, so the description
+    // matches the canonical one except for provenance bookkeeping —
+    // and must parse/validate like any other.
+    let canonical = mct(&["infer", "ivy", "--stdout"]);
+    assert_eq!(stdout(&canonical), stdout(&out));
+}
+
+#[test]
 fn corrupt_and_missing_descriptions_are_rejected() {
     let dir = tmpdir("corrupt");
 

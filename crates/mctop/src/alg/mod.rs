@@ -6,7 +6,10 @@
 //! 1. [`probe`] — collect an N x N latency table with lock-step
 //!    measurement pairs (Fig. 5), median-of-n repetitions, stdev
 //!    thresholds with retry escalation, DVFS warm-up, and rdtsc-cost
-//!    subtraction.
+//!    subtraction. [`schedule`] partitions the upper triangle into
+//!    rounds of disjoint pairs so [`probe::collect_parallel`] can
+//!    measure up to ⌊N/2⌋ pairs at a time — deterministically: the
+//!    parallel path is byte-identical to the sequential one.
 //! 2. [`cluster`] — extract latency clusters from the CDF of the values
 //!    and normalize the table to cluster medians.
 //! 3. [`components`] — recursively group contexts into components per
@@ -21,13 +24,16 @@ pub mod build;
 pub mod cluster;
 pub mod components;
 pub mod probe;
+pub mod schedule;
 pub mod table;
 pub mod validate;
 
 use crate::error::McTopError;
 use crate::model::Mctop;
 pub use probe::{
+    AdaptiveCfg,
     ProbeConfig,
+    ProbeStream,
     Prober, //
 };
 
@@ -50,11 +56,41 @@ pub fn run<P: Prober>(prober: &mut P, cfg: &ProbeConfig) -> Result<Mctop, McTopE
     run_full(prober, cfg).map(|inf| inf.topology)
 }
 
+/// [`run`] with the collection phase spread over `jobs` forked probers
+/// (disjoint-pair rounds; byte-identical output for every `jobs`).
+pub fn run_jobs<P: Prober + Send>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    jobs: usize,
+) -> Result<Mctop, McTopError> {
+    run_full_jobs(prober, cfg, jobs).map(|inf| inf.topology)
+}
+
 /// Runs all four steps, keeping the intermediate artifacts (raw table,
 /// clusters, statistics). The Fig. 6 harness prints these stages.
 pub fn run_full<P: Prober>(prober: &mut P, cfg: &ProbeConfig) -> Result<Inference, McTopError> {
-    // Step 1: latency table.
     let (raw, stats) = probe::collect(prober, cfg)?;
+    finish_inference(prober, cfg, raw, stats)
+}
+
+/// [`run_full`] with parallel collection (see [`probe::collect_parallel`]).
+pub fn run_full_jobs<P: Prober + Send>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    jobs: usize,
+) -> Result<Inference, McTopError> {
+    let (raw, stats) = probe::collect_parallel(prober, cfg, jobs)?;
+    finish_inference(prober, cfg, raw, stats)
+}
+
+/// Steps 2-4 plus validation, shared by the sequential and parallel
+/// entry points.
+fn finish_inference<P: Prober>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    raw: table::LatencyTable,
+    stats: probe::ProbeStats,
+) -> Result<Inference, McTopError> {
     // Step 2: clusters + normalized table.
     let clusters = cluster::cluster(&raw.upper_triangle(), &cfg.cluster)?;
     let norm = cluster::normalize(&raw, &clusters);

@@ -8,10 +8,37 @@
 //! the samples are too noisy; the estimated rdtsc read cost is
 //! subtracted from every value; DVFS is defeated by spinning until the
 //! cores reach maximum frequency.
+//!
+//! Measurements between disjoint context pairs are independent, so
+//! [`collect_parallel`] drives the rounds of the circle-method schedule
+//! ([`crate::alg::schedule`]) across a pool of forked probers, up to
+//! ⌊N/2⌋ pairs at a time. The parallel path is *deterministic*: every
+//! measurement draws its randomness from a stream derived from the run
+//! seed and a [`ProbeStream`] identity (calibration, warm-up of one
+//! context, one pair, one refinement), never from a position in a
+//! global sample sequence — so `collect_parallel` with any worker count
+//! produces byte-for-byte the same table and statistics as the
+//! sequential [`collect`].
+//!
+//! [`AdaptiveCfg`] layers two-phase repetitions on top: a cheap pilot
+//! pass over all pairs, then full-repetition refinement only for pairs
+//! whose pilot median lands near a latency-cluster boundary or fails
+//! the stdev gate. The savings and the extra migrations are modeled in
+//! [`ProbeStats`], keeping the Section 3.5 cost accounting honest.
+
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering, //
+};
+use std::sync::Barrier;
 
 use mcsim::stats;
 
-use crate::alg::cluster::ClusterCfg;
+use crate::alg::cluster::{
+    self,
+    ClusterCfg, //
+};
+use crate::alg::schedule;
 use crate::alg::table::LatencyTable;
 use crate::error::McTopError;
 
@@ -34,6 +61,17 @@ pub trait Prober {
     /// in cycles, *including* the timestamp-read cost.
     fn probe(&mut self, a: usize, b: usize) -> u32;
 
+    /// A batch of `count` raw samples for one pair, appended into `out`
+    /// (cleared first). The default loops [`Prober::probe`]; backends
+    /// with per-batch setup cost (thread spawns, pinning) override it.
+    fn probe_batch(&mut self, a: usize, b: usize, out: &mut Vec<u32>, count: usize) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.probe(a, b));
+        }
+    }
+
     /// One estimate of the timestamp-read cost (a back-to-back rdtsc
     /// calibration sample).
     fn rdtsc_cost(&mut self) -> u32;
@@ -45,9 +83,102 @@ pub trait Prober {
     /// Spins on `ctx` until its core reaches maximum frequency.
     fn warmup(&mut self, _ctx: usize) {}
 
+    /// Rebinds the backend's randomness to the given derived stream.
+    ///
+    /// Simulated backends reseed their noise generator from
+    /// `(run seed, stream)` so that every sample is a pure function of
+    /// the stream identity and its index within the stream — the
+    /// determinism contract of [`collect_parallel`]. Hardware backends
+    /// have no seedable randomness and keep the default no-op.
+    fn begin_stream(&mut self, _stream: ProbeStream) {}
+
+    /// An independent prober that can measure pairs concurrently with
+    /// `self` (and with other forks), or `None` if the backend cannot
+    /// be driven from more than one thread. Forks inherit the machine
+    /// shape and any warm-up state accumulated so far.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Whether concurrently measured pairs disturb each other's
+    /// timings. When `true` (hardware backends), `collect_parallel`
+    /// barriers between schedule rounds so only mutually disjoint pairs
+    /// are ever in flight. Simulated backends return `false`: their
+    /// samples are pure functions of the stream, so workers may run
+    /// ahead without a round barrier.
+    fn concurrent_pairs_interfere(&self) -> bool {
+        true
+    }
+
     /// A name for the machine (used in reports and description files).
     fn machine_name(&self) -> String {
         "unknown".into()
+    }
+}
+
+/// Identity of an independent randomness stream of the collection
+/// phase. Backends with simulated noise derive a fresh generator per
+/// stream (see [`Prober::begin_stream`]), which makes measurement
+/// results independent of the global order pairs are visited in — the
+/// property that lets sequential and parallel collection agree
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStream {
+    /// The rdtsc-cost calibration loop (run once, before any pair).
+    Calibration,
+    /// The DVFS warm-up of one context.
+    Warmup(usize),
+    /// All samples (including stdev retries) of one pair, `a < b`.
+    Pair(usize, usize),
+    /// The full-repetition refinement pass of one pair (adaptive
+    /// collection only) — a distinct stream, so refinement does not
+    /// replay the pilot samples.
+    Refine(usize, usize),
+    /// The SMT-detection spin measurements (Section 3.5).
+    SmtCheck,
+}
+
+impl ProbeStream {
+    /// A collision-free 64-bit tag for this stream (contexts are far
+    /// below 2^30 on every machine the paper or the simulator models).
+    pub fn tag(self) -> u64 {
+        match self {
+            ProbeStream::Calibration => 0,
+            ProbeStream::SmtCheck => 1,
+            ProbeStream::Warmup(c) => (1 << 60) | c as u64,
+            ProbeStream::Pair(a, b) => (2 << 60) | ((a as u64) << 30) | b as u64,
+            ProbeStream::Refine(a, b) => (3 << 60) | ((a as u64) << 30) | b as u64,
+        }
+    }
+}
+
+/// Two-phase adaptive repetitions (Section 3.5 cost reduction): a cheap
+/// pilot pass over every pair, then full-repetition refinement only
+/// where the pilot is untrustworthy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveCfg {
+    /// Repetitions of the pilot pass (a small fraction of
+    /// [`ProbeConfig::reps`]).
+    pub pilot_reps: usize,
+    /// A pilot median within this fraction of its own value from the
+    /// nearest adjacent latency cluster is considered boundary-risky
+    /// and re-measured with full repetitions.
+    pub boundary_frac: f64,
+}
+
+impl Default for AdaptiveCfg {
+    fn default() -> Self {
+        AdaptiveCfg {
+            // 15 samples give a usable median under the default noise
+            // model; anything boundary-risky is re-measured anyway.
+            pilot_reps: 15,
+            // Just above the widest stdev gate (14%): a median that
+            // close to another cluster could plausibly flip sides.
+            boundary_frac: 0.15,
+        }
     }
 }
 
@@ -68,8 +199,12 @@ pub struct ProbeConfig {
     /// threads to a new pair and re-synchronizing: contributes to the
     /// inference-runtime accounting of Section 3.5.
     pub pair_overhead_cycles: u64,
-    /// Clustering parameters for step 2.
+    /// Clustering parameters for step 2 (also used by the adaptive
+    /// boundary check).
     pub cluster: ClusterCfg,
+    /// Two-phase adaptive repetitions; `None` measures every pair with
+    /// the full `reps` (the paper's behaviour).
+    pub adaptive: Option<AdaptiveCfg>,
 }
 
 impl Default for ProbeConfig {
@@ -82,6 +217,7 @@ impl Default for ProbeConfig {
             warmup: true,
             pair_overhead_cycles: 8_000_000,
             cluster: ClusterCfg::default(),
+            adaptive: None,
         }
     }
 }
@@ -98,19 +234,30 @@ impl ProbeConfig {
 }
 
 /// Measurement statistics of a collection run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProbeStats {
     /// Context pairs measured.
     pub pairs: u64,
     /// Raw probes issued.
     pub probes: u64,
+    /// Probes issued by the adaptive pilot pass (subset of `probes`).
+    pub pilot_probes: u64,
+    /// Pairs re-measured with full repetitions by the adaptive
+    /// refinement pass.
+    pub refined_pairs: u64,
     /// Pair-level retries due to unstable stdev.
     pub retries: u64,
     /// Cycles spent inside probes (sum of all raw samples).
     pub sample_cycles: u64,
     /// Cycles of fixed per-pair overhead (thread migration, barriers,
-    /// DVFS re-checks).
+    /// DVFS re-checks). Refined pairs pay it twice.
     pub overhead_cycles: u64,
+    /// Modelled critical-path cycles: with the disjoint-round schedule,
+    /// each round costs the maximum over the workers measuring it, not
+    /// the sum. Equals `sample_cycles + overhead_cycles` for a
+    /// sequential run; under `collect_parallel(jobs=K)` it shrinks
+    /// toward `modeled_cycles() / K`.
+    pub critical_cycles: u64,
 }
 
 impl ProbeStats {
@@ -125,104 +272,521 @@ impl ProbeStats {
         self.modeled_cycles() as f64 / (freq_ghz * 1e9)
     }
 
+    /// Modelled wall-clock seconds of the *parallel* schedule at the
+    /// given core frequency: the critical path through the disjoint
+    /// rounds rather than the total work.
+    pub fn modeled_parallel_seconds(&self, freq_ghz: f64) -> f64 {
+        self.critical_cycles as f64 / (freq_ghz * 1e9)
+    }
+
+    /// Folds another run's statistics into this one (all counters are
+    /// additive; critical-path cycles add because sequential phases
+    /// concatenate — per-round maxima across workers are computed by
+    /// the collector before merging).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.pairs += other.pairs;
+        self.probes += other.probes;
+        self.pilot_probes += other.pilot_probes;
+        self.refined_pairs += other.refined_pairs;
+        self.retries += other.retries;
+        self.sample_cycles += other.sample_cycles;
+        self.overhead_cycles += other.overhead_cycles;
+        self.critical_cycles += other.critical_cycles;
+    }
+
     /// Stats as they would look with `target` repetitions per pair
-    /// instead of the `actual` used: probe time scales linearly, the
-    /// per-pair overhead does not. Lets fast runs report the cost of the
-    /// paper's 2000-rep configuration.
+    /// instead of the `actual` used: full-repetition probe time scales
+    /// linearly, while the pilot pass (fixed by
+    /// [`AdaptiveCfg::pilot_reps`]) and the per-pair overhead do not.
+    /// Lets fast runs report the cost of the paper's 2000-rep
+    /// configuration. Sample and critical-path cycles scale by the
+    /// resulting probe ratio — exact for non-adaptive runs, a
+    /// proportionality approximation for adaptive ones (per-phase cycle
+    /// shares are not tracked).
     pub fn scaled_to_reps(&self, actual: usize, target: usize) -> ProbeStats {
         assert!(actual > 0);
         let f = target as f64 / actual as f64;
+        let full_probes = self.probes - self.pilot_probes;
+        let probes = self.pilot_probes + (full_probes as f64 * f) as u64;
+        let cf = if self.probes == 0 {
+            1.0
+        } else {
+            probes as f64 / self.probes as f64
+        };
         ProbeStats {
             pairs: self.pairs,
-            probes: (self.probes as f64 * f) as u64,
+            probes,
+            pilot_probes: self.pilot_probes,
+            refined_pairs: self.refined_pairs,
             retries: self.retries,
-            sample_cycles: (self.sample_cycles as f64 * f) as u64,
+            sample_cycles: (self.sample_cycles as f64 * cf) as u64,
             overhead_cycles: self.overhead_cycles,
+            critical_cycles: (self.critical_cycles as f64 * cf) as u64,
         }
     }
 }
 
-/// Collects the full latency table (upper triangle measured, mirrored).
+/// Collects the full latency table (upper triangle measured, mirrored),
+/// sequentially. Identical in output to [`collect_parallel`] with any
+/// worker count.
 pub fn collect<P: Prober>(
     prober: &mut P,
     cfg: &ProbeConfig,
 ) -> Result<(LatencyTable, ProbeStats), McTopError> {
-    let n = prober.num_hwcs();
-    assert!(n >= 2, "need at least two hardware contexts");
+    let mut ctx = begin_collection(prober, cfg)?;
+    let rounds = schedule::round_robin(ctx.n);
     let mut stats = ProbeStats::default();
-    // Estimate the rdtsc read cost once, as the median of a calibration
-    // loop (Fig. 5 subtracts `rdtsc_latency` from every measurement).
-    let rdtsc_samples: Vec<u32> = (0..101).map(|_| prober.rdtsc_cost()).collect();
-    let rdtsc_est = stats_median(&rdtsc_samples);
-
-    let mut table = LatencyTable::new(n);
-    let mut warmed = vec![false; n];
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if cfg.warmup {
-                // The paper warms both cores before every lock-step
-                // phase; re-warming an already hot core is a no-op, so
-                // it is enough to do it lazily per context.
-                if !warmed[a] {
-                    prober.warmup(a);
-                    warmed[a] = true;
-                }
-                if !warmed[b] {
-                    prober.warmup(b);
-                    warmed[b] = true;
-                }
-            }
-            let median = measure_pair(prober, cfg, a, b, &mut stats)?;
-            let corrected = median.saturating_sub(rdtsc_est);
-            table.set(a, b, corrected);
-            stats.pairs += 1;
-            stats.overhead_cycles += cfg.pair_overhead_cycles;
-        }
-    }
+    let table = run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
+        run_phase_inline(prober, cfg, rs, kind, st)
+    })?;
     Ok((table, stats))
 }
 
-/// Measures one pair: median of `reps` samples, retried with an
-/// escalating stdev threshold (Section 3.5).
-fn measure_pair<P: Prober>(
+/// Collects the full latency table with up to `jobs` forked probers
+/// measuring the disjoint pairs of each schedule round concurrently.
+///
+/// # Determinism contract
+///
+/// The output (table, statistics, and any error) is byte-for-byte the
+/// output of the sequential [`collect`], for every `jobs` value: each
+/// pair's samples come from an independent stream derived from the run
+/// seed and the pair identity ([`ProbeStream`]), and warm-up runs to
+/// completion before any pair is measured, so no measurement depends on
+/// global ordering. For backends with order-dependent state the
+/// contract requires `cfg.warmup` (or frequency scaling disabled) —
+/// the simulated backend's DVFS factor is saturated by warm-up and
+/// inherited by every fork. Backends whose [`Prober::fork`] returns
+/// `None` (and `jobs <= 1`) fall back to the sequential loop.
+pub fn collect_parallel<P: Prober + Send>(
     prober: &mut P,
     cfg: &ProbeConfig,
+    jobs: usize,
+) -> Result<(LatencyTable, ProbeStats), McTopError> {
+    let mut ctx = begin_collection(prober, cfg)?;
+    let rounds = schedule::round_robin(ctx.n);
+    let mut stats = ProbeStats::default();
+
+    // Fork the worker pool after warm-up, so every fork inherits the
+    // saturated DVFS state. A backend that cannot fork measures inline.
+    let mut forks: Vec<P> = Vec::new();
+    if jobs > 1 {
+        for _ in 0..jobs.min(ctx.n / 2) {
+            match prober.fork() {
+                Some(f) => forks.push(f),
+                None => {
+                    forks.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    let table = if forks.len() > 1 {
+        run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
+            run_phase_threaded(&mut forks, cfg, rs, kind, st)
+        })?
+    } else {
+        run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
+            run_phase_inline(prober, cfg, rs, kind, st)
+        })?
+    };
+    Ok((table, stats))
+}
+
+/// Drives the one- or two-phase measurement plan over a phase executor
+/// (the inline loop or the threaded pool) — the single code path both
+/// [`collect`] and [`collect_parallel`] reduce to.
+fn run_phases(
+    ctx: &mut Collection,
+    cfg: &ProbeConfig,
+    rounds: &[Vec<(usize, usize)>],
+    stats: &mut ProbeStats,
+    mut phase: impl FnMut(&[Vec<(usize, usize)>], PhaseKind, &mut ProbeStats) -> Vec<Entry>,
+) -> Result<LatencyTable, McTopError> {
+    match cfg.adaptive {
+        None => finish_phase(ctx, phase(rounds, PhaseKind::Full, stats)),
+        Some(ad) => {
+            // The pilot must stay the cheap pass: a pilot_reps above the
+            // full repetition count would make "adaptive" strictly more
+            // expensive than plain collection.
+            let ad = AdaptiveCfg {
+                pilot_reps: ad.pilot_reps.min(cfg.reps),
+                ..ad
+            };
+            let pilots = phase(rounds, PhaseKind::Pilot(ad), stats);
+            let refine = plan_refinement(ctx, rounds, pilots, cfg, ad);
+            let entries = phase(&refine, PhaseKind::Refine, stats);
+            finish_phase(ctx, entries)
+        }
+    }
+}
+
+/// Shared state of one collection run.
+struct Collection {
+    n: usize,
+    rdtsc_est: u32,
+    table: LatencyTable,
+}
+
+/// Calibration + warm-up, shared by the sequential and parallel entry
+/// points. Runs before any pair so that measurement streams never
+/// interleave with warm-up randomness and forked probers inherit fully
+/// warmed cores.
+fn begin_collection<P: Prober>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+) -> Result<Collection, McTopError> {
+    let n = prober.num_hwcs();
+    assert!(n >= 2, "need at least two hardware contexts");
+    assert!(cfg.reps >= 1, "need at least one repetition per pair");
+    if let Some(ad) = &cfg.adaptive {
+        assert!(ad.pilot_reps >= 1, "need at least one pilot repetition");
+    }
+    // Estimate the rdtsc read cost once, as the median of a calibration
+    // loop (Fig. 5 subtracts `rdtsc_latency` from every measurement).
+    prober.begin_stream(ProbeStream::Calibration);
+    let rdtsc_samples: Vec<u32> = (0..101).map(|_| prober.rdtsc_cost()).collect();
+    let rdtsc_est = stats::median_u32(&rdtsc_samples);
+    // The paper warms both cores before every lock-step phase; warming
+    // everything up-front is equivalent (frequency only ramps up) and
+    // keeps measurements independent of pair order.
+    if cfg.warmup {
+        for ctx in 0..n {
+            prober.begin_stream(ProbeStream::Warmup(ctx));
+            prober.warmup(ctx);
+        }
+    }
+    Ok(Collection {
+        n,
+        rdtsc_est,
+        table: LatencyTable::new(n),
+    })
+}
+
+/// What a measurement phase does per pair.
+#[derive(Clone, Copy)]
+enum PhaseKind {
+    /// Full repetitions with the stdev retry gate ([`ProbeStream::Pair`]).
+    Full,
+    /// The cheap adaptive pilot pass (no retries, no failure).
+    Pilot(AdaptiveCfg),
+    /// Full repetitions on the refinement stream
+    /// ([`ProbeStream::Refine`]).
+    Refine,
+}
+
+/// Result of measuring one pair.
+enum Outcome {
+    /// Median of the accepted samples, rdtsc cost still included.
+    Value(u32),
+    /// Pilot median plus whether the pilot already met the stdev gate.
+    Pilot { median: u32, stable: bool },
+    /// The retry escalation never stabilized (best relative stdev).
+    Unstable(f64),
+}
+
+/// One measured pair, tagged with its schedule position so merged
+/// worker outputs can be ordered deterministically.
+struct Entry {
+    round: u32,
+    slot: u32,
+    a: usize,
+    b: usize,
+    outcome: Outcome,
+}
+
+/// Measures one pair according to `kind`, accumulating statistics and
+/// reusing `buf` for the samples. Returns the outcome and the modelled
+/// cycles this pair occupied its measurement slot for (samples +
+/// migration overhead) — the unit of the critical-path accounting.
+fn measure_one<P: Prober>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    kind: PhaseKind,
     a: usize,
     b: usize,
     stats: &mut ProbeStats,
-) -> Result<u32, McTopError> {
-    let mut best_frac = f64::INFINITY;
-    for attempt in 0..=cfg.max_retries {
-        let samples: Vec<u32> = (0..cfg.reps).map(|_| prober.probe(a, b)).collect();
-        stats.probes += samples.len() as u64;
-        stats.sample_cycles += samples.iter().map(|&s| s as u64).sum::<u64>();
-        let median = stats::median_u32(&samples);
-        let sd = stats::stdev(&samples);
-        let frac = if median == 0 { 0.0 } else { sd / median as f64 };
-        // Threshold escalates linearly from stdev_frac to stdev_frac_max
-        // across the retries.
-        let threshold = if cfg.max_retries == 0 {
-            cfg.stdev_frac_max
-        } else {
-            cfg.stdev_frac
-                + (cfg.stdev_frac_max - cfg.stdev_frac) * (attempt as f64 / cfg.max_retries as f64)
-        };
-        if frac <= threshold {
-            return Ok(median);
+    buf: &mut Vec<u32>,
+) -> (Outcome, u64) {
+    let mut cycles = cfg.pair_overhead_cycles;
+    stats.overhead_cycles += cfg.pair_overhead_cycles;
+    match kind {
+        PhaseKind::Pilot(ad) => {
+            prober.begin_stream(ProbeStream::Pair(a, b));
+            prober.probe_batch(a, b, buf, ad.pilot_reps);
+            stats.pairs += 1;
+            stats.probes += buf.len() as u64;
+            stats.pilot_probes += buf.len() as u64;
+            let sample_cycles: u64 = buf.iter().map(|&s| s as u64).sum();
+            stats.sample_cycles += sample_cycles;
+            cycles += sample_cycles;
+            let median = stats::median_u32(buf);
+            let sd = stats::stdev(buf);
+            let frac = if median == 0 { 0.0 } else { sd / median as f64 };
+            (
+                Outcome::Pilot {
+                    median,
+                    stable: frac <= cfg.stdev_frac,
+                },
+                cycles,
+            )
         }
-        best_frac = best_frac.min(frac);
-        stats.retries += 1;
+        PhaseKind::Full | PhaseKind::Refine => {
+            match kind {
+                PhaseKind::Full => {
+                    prober.begin_stream(ProbeStream::Pair(a, b));
+                    stats.pairs += 1;
+                }
+                _ => {
+                    prober.begin_stream(ProbeStream::Refine(a, b));
+                    stats.refined_pairs += 1;
+                }
+            }
+            let mut best_frac = f64::INFINITY;
+            for attempt in 0..=cfg.max_retries {
+                prober.probe_batch(a, b, buf, cfg.reps);
+                stats.probes += buf.len() as u64;
+                let sample_cycles: u64 = buf.iter().map(|&s| s as u64).sum();
+                stats.sample_cycles += sample_cycles;
+                cycles += sample_cycles;
+                let median = stats::median_u32(buf);
+                let sd = stats::stdev(buf);
+                let frac = if median == 0 { 0.0 } else { sd / median as f64 };
+                // Threshold escalates linearly from stdev_frac to
+                // stdev_frac_max across the retries.
+                let threshold = if cfg.max_retries == 0 {
+                    cfg.stdev_frac_max
+                } else {
+                    cfg.stdev_frac
+                        + (cfg.stdev_frac_max - cfg.stdev_frac)
+                            * (attempt as f64 / cfg.max_retries as f64)
+                };
+                if frac <= threshold {
+                    return (Outcome::Value(median), cycles);
+                }
+                best_frac = best_frac.min(frac);
+                stats.retries += 1;
+            }
+            (Outcome::Unstable(best_frac), cycles)
+        }
     }
-    Err(McTopError::UnstableMeasurements {
-        pair: (a, b),
-        stdev_frac: best_frac,
-    })
+}
+
+/// Runs one phase on the calling thread, visiting rounds (and pairs
+/// within each round) in schedule order. Stops after the first failing
+/// pair, like the paper's sequential collector.
+fn run_phase_inline<P: Prober>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    rounds: &[Vec<(usize, usize)>],
+    kind: PhaseKind,
+    stats: &mut ProbeStats,
+) -> Vec<Entry> {
+    let mut entries = Vec::with_capacity(rounds.iter().map(Vec::len).sum());
+    let mut buf = Vec::new();
+    'rounds: for (r, round) in rounds.iter().enumerate() {
+        for (i, &(a, b)) in round.iter().enumerate() {
+            let (outcome, cycles) = measure_one(prober, cfg, kind, a, b, stats, &mut buf);
+            stats.critical_cycles += cycles;
+            let failed = matches!(outcome, Outcome::Unstable(_));
+            entries.push(Entry {
+                round: r as u32,
+                slot: i as u32,
+                a,
+                b,
+                outcome,
+            });
+            if failed {
+                break 'rounds;
+            }
+        }
+    }
+    entries
+}
+
+/// Runs one phase across the forked worker pool: round by round, the
+/// disjoint pairs of each round are dealt out across the workers, with
+/// a barrier between rounds so concurrently-measured pairs never share
+/// a context (the measurement-isolation property the schedule exists
+/// for). Worker outputs are merged into schedule order and per-round
+/// worker maxima feed the critical-path accounting.
+fn run_phase_threaded<P: Prober + Send>(
+    forks: &mut [P],
+    cfg: &ProbeConfig,
+    rounds: &[Vec<(usize, usize)>],
+    kind: PhaseKind,
+    stats: &mut ProbeStats,
+) -> Vec<Entry> {
+    let jobs = forks.len();
+    // Disjointness within an in-flight set only matters when pairs
+    // disturb each other (real hardware): then a barrier holds workers
+    // to one schedule round at a time. Order-independent backends skip
+    // the sync and stream through their share of every round.
+    let isolate_rounds = forks.iter().all(|f| f.concurrent_pairs_interfere());
+    let barrier = Barrier::new(jobs);
+    // Earliest round with a failed pair (`u64::MAX` while none): every
+    // worker keeps measuring until it has *completed* that round, so
+    // the merged entries always contain the first failing pair in
+    // schedule order — the one the sequential run would report.
+    let abort_round = AtomicU64::new(u64::MAX);
+    let worker_outs: Vec<(Vec<Entry>, ProbeStats, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = forks
+            .iter_mut()
+            .enumerate()
+            .map(|(w, prober)| {
+                let barrier = &barrier;
+                let abort_round = &abort_round;
+                scope.spawn(move || {
+                    let mut entries = Vec::new();
+                    let mut local = ProbeStats::default();
+                    let mut buf = Vec::new();
+                    let mut round_cycles = vec![0u64; rounds.len()];
+                    for (r, round) in rounds.iter().enumerate() {
+                        for (i, &(a, b)) in round.iter().enumerate() {
+                            if i % jobs != w {
+                                continue;
+                            }
+                            let (outcome, cycles) =
+                                measure_one(prober, cfg, kind, a, b, &mut local, &mut buf);
+                            round_cycles[r] += cycles;
+                            if matches!(outcome, Outcome::Unstable(_)) {
+                                abort_round.fetch_min(r as u64, Ordering::Relaxed);
+                            }
+                            entries.push(Entry {
+                                round: r as u32,
+                                slot: i as u32,
+                                a,
+                                b,
+                                outcome,
+                            });
+                        }
+                        if isolate_rounds {
+                            // Lockstep rounds stop collectively: between
+                            // the two waits nobody measures (so nobody
+                            // stores), hence every worker reads the same
+                            // abort state and takes the same branch — a
+                            // divergent break would strand the others at
+                            // the next barrier.
+                            barrier.wait();
+                            let stop = abort_round.load(Ordering::Relaxed) != u64::MAX;
+                            barrier.wait();
+                            if stop {
+                                break;
+                            }
+                        } else if r as u64 >= abort_round.load(Ordering::Relaxed) {
+                            // Free-running workers stop once they have
+                            // completed the earliest failing round, so
+                            // every pair scheduled before the failure is
+                            // still measured.
+                            break;
+                        }
+                    }
+                    (entries, local, round_cycles)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut entries = Vec::with_capacity(rounds.iter().map(Vec::len).sum());
+    let mut round_maxima = vec![0u64; rounds.len()];
+    for (worker_entries, worker_stats, round_cycles) in worker_outs {
+        stats.merge(&worker_stats);
+        entries.extend(worker_entries);
+        for (r, &c) in round_cycles.iter().enumerate() {
+            round_maxima[r] = round_maxima[r].max(c);
+        }
+    }
+    stats.critical_cycles += round_maxima.iter().sum::<u64>();
+    entries.sort_unstable_by_key(|e| (e.round, e.slot));
+    entries
+}
+
+/// Applies a Full/Refine phase's entries to the table (rdtsc-corrected)
+/// in schedule order, surfacing the earliest failure.
+fn finish_phase(ctx: &mut Collection, entries: Vec<Entry>) -> Result<LatencyTable, McTopError> {
+    for e in entries {
+        match e.outcome {
+            Outcome::Value(median) => {
+                ctx.table
+                    .set(e.a, e.b, median.saturating_sub(ctx.rdtsc_est));
+            }
+            Outcome::Pilot { .. } => unreachable!("pilot entries go through plan_refinement"),
+            Outcome::Unstable(stdev_frac) => {
+                return Err(McTopError::UnstableMeasurements {
+                    pair: (e.a, e.b),
+                    stdev_frac,
+                });
+            }
+        }
+    }
+    // The collection state is done once the last phase is applied: move
+    // the table out instead of copying N² values.
+    Ok(std::mem::replace(&mut ctx.table, LatencyTable::new(0)))
+}
+
+/// Applies the pilot entries to the table and selects which pairs the
+/// refinement pass must re-measure: pilots that failed the stdev gate,
+/// plus pilots whose (rdtsc-corrected) median lies within
+/// [`AdaptiveCfg::boundary_frac`] of an adjacent latency cluster — the
+/// pairs where a cheap median could plausibly land on the wrong side of
+/// a cluster split. Returns refinement rounds (each a subset of a
+/// schedule round, so disjointness is preserved).
+fn plan_refinement(
+    ctx: &mut Collection,
+    rounds: &[Vec<(usize, usize)>],
+    pilots: Vec<Entry>,
+    cfg: &ProbeConfig,
+    ad: AdaptiveCfg,
+) -> Vec<Vec<(usize, usize)>> {
+    let n = ctx.n;
+    let mut stable = vec![true; n * n];
+    for e in &pilots {
+        let (median, ok) = match e.outcome {
+            Outcome::Pilot { median, stable } => (median, stable),
+            _ => unreachable!("full entries go through finish_phase"),
+        };
+        ctx.table
+            .set(e.a, e.b, median.saturating_sub(ctx.rdtsc_est));
+        stable[e.a * n + e.b] = ok;
+    }
+    // Cluster the pilot medians; if even the pilot values cluster, only
+    // boundary-risky pairs need the full repetitions. A failed
+    // clustering means the pilot is globally untrustworthy: refine
+    // everything.
+    let clusters = cluster::cluster(&ctx.table.upper_triangle(), &cfg.cluster).ok();
+    let near_boundary = |value: u32| -> bool {
+        let Some(clusters) = &clusters else {
+            return true;
+        };
+        let Some(i) = clusters
+            .iter()
+            .position(|c| c.min <= value && value <= c.max)
+        else {
+            return true;
+        };
+        let guard = ad.boundary_frac * value as f64;
+        (i > 0 && (value - clusters[i - 1].max) as f64 <= guard)
+            || (i + 1 < clusters.len() && (clusters[i + 1].min - value) as f64 <= guard)
+    };
+    rounds
+        .iter()
+        .map(|round| {
+            round
+                .iter()
+                .copied()
+                .filter(|&(a, b)| !stable[a * n + b] || near_boundary(ctx.table.get(a, b)))
+                .collect::<Vec<_>>()
+        })
+        .filter(|round: &Vec<_>| !round.is_empty())
+        .collect()
 }
 
 /// SMT detection (Section 3.5): spin solo on one context, then spin
 /// simultaneously on the two minimum-latency contexts. If they share a
 /// core, SMT resource sharing slows the loop down markedly.
 pub fn detect_smt<P: Prober>(prober: &mut P, norm: &LatencyTable) -> bool {
+    prober.begin_stream(ProbeStream::SmtCheck);
     let n = norm.n();
     let mut best: Option<(u32, usize, usize)> = None;
     for a in 0..n {
@@ -238,10 +802,6 @@ pub fn detect_smt<P: Prober>(prober: &mut P, norm: &LatencyTable) -> bool {
     let solo = prober.spin_duration(&[a], ITERS);
     let paired = prober.spin_duration(&[a, b], ITERS);
     paired as f64 > solo as f64 * 1.4
-}
-
-fn stats_median(v: &[u32]) -> u32 {
-    stats::median_u32(v)
 }
 
 #[cfg(test)]
@@ -269,6 +829,7 @@ mod tests {
         assert_eq!(stats.pairs, n * (n - 1) / 2);
         assert_eq!(stats.probes, stats.pairs * 5);
         assert_eq!(stats.retries, 0);
+        assert_eq!(stats.critical_cycles, stats.modeled_cycles());
     }
 
     #[test]
@@ -297,6 +858,113 @@ mod tests {
         };
         let res = collect(&mut p, &cfg);
         assert!(matches!(res, Err(McTopError::UnstableMeasurements { .. })));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_noiseless_and_noisy() {
+        let spec = presets::ivy();
+        let cfg = ProbeConfig {
+            reps: 15,
+            ..ProbeConfig::fast()
+        };
+        for seed in [None, Some(7u64), Some(42)] {
+            let mk = || match seed {
+                None => SimProber::noiseless(&spec),
+                Some(s) => SimProber::new(&spec, s),
+            };
+            let (seq_table, seq_stats) = collect(&mut mk(), &cfg).unwrap();
+            for jobs in [1usize, 2, 5] {
+                let (par_table, par_stats) = collect_parallel(&mut mk(), &cfg, jobs).unwrap();
+                assert_eq!(seq_table, par_table, "seed {seed:?} jobs {jobs}");
+                assert_eq!(seq_stats.pairs, par_stats.pairs);
+                assert_eq!(seq_stats.probes, par_stats.probes);
+                assert_eq!(seq_stats.retries, par_stats.retries);
+                assert_eq!(seq_stats.sample_cycles, par_stats.sample_cycles);
+                assert_eq!(seq_stats.overhead_cycles, par_stats.overhead_cycles);
+                assert!(par_stats.critical_cycles <= seq_stats.critical_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_sequential_error() {
+        let spec = presets::synthetic_small();
+        let cfg = ProbeConfig {
+            reps: 31,
+            max_retries: 1,
+            ..ProbeConfig::fast()
+        };
+        let seq = collect(
+            &mut SimProber::with_noise(&spec, 3, mcsim::NoiseCfg::hostile()),
+            &cfg,
+        );
+        let par = collect_parallel(
+            &mut SimProber::with_noise(&spec, 3, mcsim::NoiseCfg::hostile()),
+            &cfg,
+            4,
+        );
+        match (seq, par) {
+            (
+                Err(McTopError::UnstableMeasurements {
+                    pair: ps,
+                    stdev_frac: fs,
+                }),
+                Err(McTopError::UnstableMeasurements {
+                    pair: pp,
+                    stdev_frac: fp,
+                }),
+            ) => {
+                assert_eq!(ps, pp);
+                assert_eq!(fs, fp);
+            }
+            other => panic!("expected matching unstable errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_noiseless_matches_full_and_skips_refinement() {
+        let spec = presets::ivy();
+        let cfg_full = ProbeConfig {
+            reps: 5,
+            ..ProbeConfig::fast()
+        };
+        let cfg_adaptive = ProbeConfig {
+            adaptive: Some(AdaptiveCfg {
+                pilot_reps: 5,
+                ..AdaptiveCfg::default()
+            }),
+            ..cfg_full.clone()
+        };
+        let (t_full, _) = collect(&mut SimProber::noiseless(&spec), &cfg_full).unwrap();
+        let (t_ad, s_ad) = collect(&mut SimProber::noiseless(&spec), &cfg_adaptive).unwrap();
+        // Noiseless pilot medians are exact and the latency bands are
+        // far apart, so nothing needs refinement.
+        assert_eq!(t_full, t_ad);
+        assert_eq!(s_ad.refined_pairs, 0);
+        assert_eq!(s_ad.pilot_probes, s_ad.probes);
+    }
+
+    #[test]
+    fn adaptive_noisy_refines_some_and_stays_deterministic() {
+        let spec = presets::ivy();
+        let cfg = ProbeConfig {
+            adaptive: Some(AdaptiveCfg::default()),
+            ..ProbeConfig::fast()
+        };
+        let (t1, s1) = collect(&mut SimProber::new(&spec, 11), &cfg).unwrap();
+        let (t2, s2) = collect_parallel(&mut SimProber::new(&spec, 11), &cfg, 4).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(s1.pairs, s2.pairs);
+        assert_eq!(s1.probes, s2.probes);
+        assert_eq!(s1.refined_pairs, s2.refined_pairs);
+        // The pilot pass did save work: not every pair was refined.
+        assert!(s1.refined_pairs < s1.pairs, "{s1:?}");
+        // And the result still tracks the truth.
+        for &(a, b) in &[(0usize, 1usize), (0, 10), (0, 20)] {
+            let truth = spec.true_latency(a, b) as f64;
+            let got = t1.get(a, b) as f64;
+            assert!((got - truth).abs() / truth < 0.12, "({a},{b})");
+        }
     }
 
     #[test]
@@ -338,6 +1006,22 @@ mod tests {
         assert!(t_ivy > 1.0 && t_ivy < 10.0, "ivy {t_ivy}");
         assert!(t_west > 40.0 && t_west < 200.0, "westmere {t_west}");
         assert!(t_west / t_ivy > 10.0);
+    }
+
+    #[test]
+    fn parallel_critical_path_shrinks_with_jobs() {
+        let spec = presets::ivy();
+        let cfg = ProbeConfig {
+            reps: 9,
+            ..ProbeConfig::fast()
+        };
+        let (_, seq) = collect(&mut SimProber::noiseless(&spec), &cfg).unwrap();
+        let (_, par) = collect_parallel(&mut SimProber::noiseless(&spec), &cfg, 8).unwrap();
+        assert_eq!(seq.modeled_cycles(), par.modeled_cycles());
+        let speedup = seq.critical_cycles as f64 / par.critical_cycles as f64;
+        // 20 disjoint pairs per round over 8 workers: ceil(20/8) = 3
+        // slots per round vs 20 sequentially — ≥ 4x on the critical path.
+        assert!(speedup >= 4.0, "modeled speedup {speedup}");
     }
 
     #[test]

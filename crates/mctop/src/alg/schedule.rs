@@ -1,0 +1,101 @@
+//! Disjoint-pair probe scheduling (Section 3.5).
+//!
+//! Latency measurements between disjoint context pairs are independent,
+//! so the N×N table can be collected up to ⌊N/2⌋ pairs at a time. The
+//! classic round-robin tournament ("circle method") partitions the
+//! strict upper triangle of an N-context machine into rounds of
+//! mutually disjoint pairs: fix context 0 (or a bye slot when N is
+//! odd), rotate the rest one position per round, and pair opposite
+//! positions. Every round is a perfect matching (no context appears
+//! twice), every unordered pair appears in exactly one round, and there
+//! are N-1 rounds for even N (N rounds with one idle context each for
+//! odd N) — the minimum possible, so a K-worker pool finishes the table
+//! in ⌈pairs-per-round / K⌉ · rounds pair-measurement slots.
+
+/// The round-robin (circle method) schedule over `n` contexts: a list
+/// of rounds, each a list of disjoint `(a, b)` pairs with `a < b`.
+///
+/// Every unordered context pair occurs in exactly one round; within a
+/// round no context occurs twice. For `n < 2` the schedule is empty.
+pub fn round_robin(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    // Work over an even number of slots; slot `n` (only present for odd
+    // `n`) is the bye — its "pair" each round simply sits out.
+    let slots = if n.is_multiple_of(2) { n } else { n + 1 };
+    let bye = slots; // out-of-range sentinel: real contexts are < n
+    let mut ring: Vec<usize> = (1..slots).map(|i| if i < n { i } else { bye }).collect();
+    let mut rounds = Vec::with_capacity(slots - 1);
+    for _ in 0..slots - 1 {
+        let mut round = Vec::with_capacity(slots / 2);
+        // Slot 0 is pinned; pair it with the rotating head.
+        let pairs = std::iter::once((0, ring[slots - 2]))
+            .chain((0..slots / 2 - 1).map(|i| (ring[i], ring[slots - 3 - i])));
+        for (x, y) in pairs {
+            if x == bye || y == bye {
+                continue;
+            }
+            round.push((x.min(y), x.max(y)));
+        }
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+        ring.rotate_right(1);
+    }
+    rounds
+}
+
+/// Number of unordered context pairs over `n` contexts.
+pub fn num_pairs(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Every round is a perfect disjoint matching (⌊n/2⌋ pairs, no
+    /// context twice), and the rounds together cover every unordered
+    /// pair exactly once — the schedule invariant `collect_parallel`
+    /// relies on for both correctness and measurement isolation.
+    #[test]
+    fn rounds_are_perfect_matchings_covering_all_pairs_once() {
+        for n in 2..=33 {
+            let rounds = round_robin(n);
+            let expected_rounds = if n % 2 == 0 { n - 1 } else { n };
+            assert_eq!(rounds.len(), expected_rounds, "n={n}");
+            let mut seen = HashSet::new();
+            for (r, round) in rounds.iter().enumerate() {
+                assert_eq!(round.len(), n / 2, "n={n} round {r} is not maximal");
+                let mut used = HashSet::new();
+                for &(a, b) in round {
+                    assert!(a < b, "n={n}: pair ({a},{b}) not normalized");
+                    assert!(b < n, "n={n}: context {b} out of range");
+                    assert!(used.insert(a), "n={n} round {r}: context {a} twice");
+                    assert!(used.insert(b), "n={n} round {r}: context {b} twice");
+                    assert!(seen.insert((a, b)), "n={n}: pair ({a},{b}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), num_pairs(n), "n={n}: pairs missing");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(round_robin(0).is_empty());
+        assert!(round_robin(1).is_empty());
+        assert_eq!(round_robin(2), vec![vec![(0, 1)]]);
+    }
+
+    #[test]
+    fn large_even_schedule_shape() {
+        // Twice the 256-context SPARC preset: 511 rounds of 256 pairs.
+        let rounds = round_robin(512);
+        assert_eq!(rounds.len(), 511);
+        assert!(rounds.iter().all(|r| r.len() == 256));
+        let total: usize = rounds.iter().map(Vec::len).sum();
+        assert_eq!(total, num_pairs(512));
+    }
+}

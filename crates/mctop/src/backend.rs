@@ -13,7 +13,10 @@ use mcsim::{
     NoiseCfg, //
 };
 
-use crate::alg::probe::Prober;
+use crate::alg::probe::{
+    ProbeStream,
+    Prober, //
+};
 
 /// A [`Prober`] over a simulated machine.
 #[derive(Debug, Clone)]
@@ -81,6 +84,25 @@ impl Prober for SimProber<'_> {
 
     fn warmup(&mut self, ctx: usize) {
         self.oracle.wait_max_freq(ctx);
+    }
+
+    fn begin_stream(&mut self, stream: ProbeStream) {
+        self.oracle.reseed_stream(stream.tag());
+    }
+
+    /// Simulated samples are pure functions of their stream, so
+    /// concurrent measurement needs no round isolation.
+    fn concurrent_pairs_interfere(&self) -> bool {
+        false
+    }
+
+    /// Forks share the machine spec, the noise configuration, and the
+    /// DVFS warm-up state accumulated so far; with the per-stream
+    /// reseeding of [`Prober::begin_stream`] their samples for a given
+    /// stream are identical to the parent's, so disjoint pairs can be
+    /// measured concurrently without changing any result.
+    fn fork(&self) -> Option<Self> {
+        Some(self.clone())
     }
 
     fn machine_name(&self) -> String {

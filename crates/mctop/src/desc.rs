@@ -110,9 +110,24 @@ pub fn canonical_probe_config() -> ProbeConfig {
 /// `descs/<name>.mct.json`. Noiseless probing, [`canonical_probe_config`],
 /// all enrichment plugins, nominal frequency attached.
 pub fn canonical(spec: &mcsim::MachineSpec) -> Result<(Mctop, Provenance), McTopError> {
+    canonical_jobs(spec, 1)
+}
+
+/// [`canonical`] with the collection phase spread over `jobs` workers.
+///
+/// The collection determinism contract
+/// ([`crate::alg::probe::collect_parallel`]) guarantees the result is
+/// byte-for-byte the same for every `jobs` value, so the worker count
+/// is a pure wall-clock knob: `mct regen-descs` may use all cores and
+/// still reproduce the committed `descs/` files exactly. It is
+/// deliberately *not* recorded in the provenance header.
+pub fn canonical_jobs(
+    spec: &mcsim::MachineSpec,
+    jobs: usize,
+) -> Result<(Mctop, Provenance), McTopError> {
     let cfg = canonical_probe_config();
     let mut prober = SimProber::noiseless(spec);
-    let mut topo = crate::alg::run(&mut prober, &cfg)?;
+    let mut topo = crate::alg::run_jobs(&mut prober, &cfg, jobs)?;
     let mut mem = SimEnricher::new(spec);
     let mut pow = SimEnricher::new(spec);
     enrich_all(&mut topo, &mut mem, &mut pow)?;
@@ -123,7 +138,12 @@ pub fn canonical(spec: &mcsim::MachineSpec) -> Result<(Mctop, Provenance), McTop
 
 /// [`canonical`] rendered as description-file text.
 pub fn canonical_string(spec: &mcsim::MachineSpec) -> Result<String, McTopError> {
-    let (topo, prov) = canonical(spec)?;
+    canonical_string_jobs(spec, 1)
+}
+
+/// [`canonical_jobs`] rendered as description-file text.
+pub fn canonical_string_jobs(spec: &mcsim::MachineSpec, jobs: usize) -> Result<String, McTopError> {
+    let (topo, prov) = canonical_jobs(spec, jobs)?;
     to_string(&topo, &prov)
 }
 

@@ -131,6 +131,26 @@ impl Prober for HostProber {
         self.cache.pop().unwrap_or(0)
     }
 
+    fn probe_batch(&mut self, a: usize, b: usize, out: &mut Vec<u32>, count: usize) {
+        // One thread-pair spawn for the whole batch instead of one per
+        // `batch` samples through the per-sample cache.
+        out.clear();
+        out.extend(self.measure_batch(a, b, count));
+    }
+
+    /// The host backend is stateless apart from its sample cache: a
+    /// fork is a fresh prober over the same machine, able to pin its
+    /// own measurement thread pair to a disjoint context pair.
+    fn fork(&self) -> Option<Self> {
+        Some(HostProber {
+            n_hwcs: self.n_hwcs,
+            n_nodes: self.n_nodes,
+            cache: Vec::new(),
+            cache_pair: (usize::MAX, usize::MAX),
+            batch: self.batch,
+        })
+    }
+
     fn rdtsc_cost(&mut self) -> u32 {
         // Cost of a back-to-back Instant::now() pair, the timing
         // overhead embedded in every sample.

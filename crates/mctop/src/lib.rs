@@ -69,6 +69,7 @@ pub mod registry;
 pub mod view;
 
 pub use alg::probe::{
+    AdaptiveCfg,
     ProbeConfig,
     Prober, //
 };
@@ -86,4 +87,16 @@ pub use view::TopoView;
 /// [`desc::save`].
 pub fn infer<P: Prober>(prober: &mut P, cfg: &ProbeConfig) -> Result<Mctop, McTopError> {
     alg::run(prober, cfg)
+}
+
+/// [`infer`] with the collection phase spread over `jobs` forked
+/// probers measuring disjoint context pairs concurrently (Section 3.5).
+/// Deterministic: the result is byte-identical to [`infer`] for every
+/// `jobs` value.
+pub fn infer_jobs<P: Prober + Send>(
+    prober: &mut P,
+    cfg: &ProbeConfig,
+    jobs: usize,
+) -> Result<Mctop, McTopError> {
+    alg::run_jobs(prober, cfg, jobs)
 }

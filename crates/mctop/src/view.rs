@@ -146,6 +146,40 @@ pub(crate) mod naive {
     }
 }
 
+/// A compressed-sparse-row collection of per-socket index lists: one
+/// flat arena plus row offsets instead of a `Vec<Vec<usize>>` per
+/// family. The view stores its three list families (neighbor orders,
+/// cores-first hand-out, compact hand-out) as consecutive row groups of
+/// a single `CsrLists`, so building a view costs two allocations for
+/// all of them (instead of `3 × sockets`) and row reads walk one
+/// contiguous arena.
+#[derive(Debug, Clone)]
+struct CsrLists {
+    data: Vec<usize>,
+    /// `offsets[r]..offsets[r + 1]` delimits row `r`; length rows + 1.
+    offsets: Vec<usize>,
+}
+
+impl CsrLists {
+    fn with_rows(rows: usize, data_capacity: usize) -> CsrLists {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        CsrLists {
+            data: Vec::with_capacity(data_capacity),
+            offsets,
+        }
+    }
+
+    fn push_row(&mut self, row: impl IntoIterator<Item = usize>) {
+        self.data.extend(row);
+        self.offsets.push(self.data.len());
+    }
+
+    fn row(&self, r: usize) -> &[usize] {
+        &self.data[self.offsets[r]..self.offsets[r + 1]]
+    }
+}
+
 /// A precomputed, shareable index over an immutable [`Mctop`].
 ///
 /// Construction is O(S² log S + N); every query afterwards is an O(1)
@@ -165,8 +199,11 @@ pub struct TopoView {
     socket_hops: Vec<usize>,
     /// S×S memory bandwidth: cross-socket off the diagonal, local on it.
     socket_bw: Vec<Option<f64>>,
-    /// Per socket: the other sockets sorted by latency (ties by id).
-    neighbors: Vec<Vec<usize>>,
+    /// All per-socket lists in one CSR arena, three row groups of S rows
+    /// each: rows `[0, S)` the other sockets sorted by latency (ties by
+    /// id), rows `[S, 2S)` contexts in cores-first hand-out order, rows
+    /// `[2S, 3S)` contexts in compact hand-out order.
+    lists: CsrLists,
     /// Sockets sorted by local bandwidth, descending.
     by_bandwidth: Vec<usize>,
     /// The CON-policy socket walk (max-bandwidth start, then proximity).
@@ -179,10 +216,6 @@ pub struct TopoView {
     hwc_core: Vec<usize>,
     /// Per context: local memory node of its socket.
     hwc_node: Vec<Option<usize>>,
-    /// Per socket: contexts in cores-first hand-out order.
-    cores_first: Vec<Vec<usize>>,
-    /// Per socket: contexts in compact hand-out order.
-    compact: Vec<Vec<usize>>,
 }
 
 impl TopoView {
@@ -218,13 +251,17 @@ impl TopoView {
             }
         }
 
-        let neighbors: Vec<Vec<usize>> = (0..s)
-            .map(|a| {
-                let mut others: Vec<usize> = (0..s).filter(|&b| b != a).collect();
-                others.sort_by_key(|&b| (socket_lat[a * s + b], b));
-                others
-            })
-            .collect();
+        // One CSR arena for every per-socket list: S neighbor rows, then
+        // S cores-first rows, then S compact rows.
+        let n_hwcs = topo.hwcs.len();
+        let mut lists = CsrLists::with_rows(3 * s, s.saturating_sub(1) * s + 2 * n_hwcs);
+        let mut others: Vec<usize> = Vec::with_capacity(s.saturating_sub(1));
+        for a in 0..s {
+            others.clear();
+            others.extend((0..s).filter(|&b| b != a));
+            others.sort_by_key(|&b| (socket_lat[a * s + b], b));
+            lists.push_row(others.iter().copied());
+        }
 
         let mut by_bandwidth: Vec<usize> = (0..s).collect();
         by_bandwidth.sort_by(|&a, &b| {
@@ -244,7 +281,8 @@ impl TopoView {
             visited[cur] = true;
             order_bw_proximity.push(cur);
             while order_bw_proximity.len() < s {
-                let next = neighbors[cur]
+                let next = lists
+                    .row(cur)
                     .iter()
                     .copied()
                     .find(|&b| !visited[b])
@@ -266,12 +304,12 @@ impl TopoView {
             .map(|h| topo.sockets[h.socket].local_node)
             .collect();
 
-        let cores_first: Vec<Vec<usize>> = (0..s)
-            .map(|sk| naive::socket_hwcs_cores_first(&topo, sk))
-            .collect();
-        let compact: Vec<Vec<usize>> = (0..s)
-            .map(|sk| naive::socket_hwcs_compact(&topo, sk))
-            .collect();
+        for sk in 0..s {
+            lists.push_row(naive::socket_hwcs_cores_first(&topo, sk));
+        }
+        for sk in 0..s {
+            lists.push_row(naive::socket_hwcs_compact(&topo, sk));
+        }
 
         TopoView {
             topo,
@@ -281,7 +319,7 @@ impl TopoView {
             socket_lat,
             socket_hops,
             socket_bw,
-            neighbors,
+            lists,
             by_bandwidth,
             order_bw_proximity,
             min_latency_pair,
@@ -289,8 +327,6 @@ impl TopoView {
             hwc_socket,
             hwc_core,
             hwc_node,
-            cores_first,
-            compact,
         }
     }
 
@@ -323,7 +359,10 @@ impl TopoView {
 
     /// Sockets sorted by latency from `socket`, closest first.
     pub fn closest_sockets(&self, socket: usize) -> &[usize] {
-        &self.neighbors[socket]
+        // A hard bounds check: past the socket rows the CSR arena holds
+        // the hand-out lists, which must never leak out as neighbors.
+        assert!(socket < self.n_sockets);
+        self.lists.row(socket)
     }
 
     /// Context-to-context latency between two sockets (`u32::MAX` if
@@ -381,12 +420,14 @@ impl TopoView {
 
     /// Contexts of a socket, unique cores first.
     pub fn socket_hwcs_cores_first(&self, socket: usize) -> &[usize] {
-        &self.cores_first[socket]
+        assert!(socket < self.n_sockets);
+        self.lists.row(self.n_sockets + socket)
     }
 
     /// Contexts of a socket in compact (core-filling) order.
     pub fn socket_hwcs_compact(&self, socket: usize) -> &[usize] {
-        &self.compact[socket]
+        assert!(socket < self.n_sockets);
+        self.lists.row(2 * self.n_sockets + socket)
     }
 
     /// The socket of a context.

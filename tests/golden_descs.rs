@@ -46,6 +46,25 @@ fn committed_descs_match_fresh_canonical_inference() {
     }
 }
 
+/// Parallel canonical regeneration is byte-identical to the committed
+/// artifacts: the `--jobs` knob of `mct regen-descs` / `mct infer` can
+/// never change a description file (the `collect_parallel` determinism
+/// contract, checked here end-to-end through inference, enrichment and
+/// serialization on every preset).
+#[test]
+fn parallel_canonical_inference_is_byte_identical() {
+    for spec in all_specs() {
+        let path = descs_dir().join(desc::default_filename(&spec.name));
+        let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
+        let rendered = desc::canonical_string_jobs(&spec, 8).expect("parallel canonical");
+        assert_eq!(
+            on_disk, rendered,
+            "{}: jobs=8 regeneration differs",
+            spec.name
+        );
+    }
+}
+
 /// The shipped (compiled-in) library is the same set of files.
 #[test]
 fn shipped_library_matches_committed_files() {
