@@ -1,0 +1,155 @@
+//! Allocation-policy comparison: modeled memory costs of every
+//! [`AllocPolicy`] on the paper platforms, emitted as
+//! `BENCH_alloc.json` for the CI bench trajectory.
+//!
+//! Usage: `alloc_compare [OUT_PATH]` (default `BENCH_alloc.json`).
+//!
+//! For each platform, one core-per-core RR_CORE placement is resolved
+//! under LOCAL, INTERLEAVE and BW_PROPORTIONAL, and the plan is charged
+//! through the *modeled* backend ([`mctop_alloc::ModelBackend`], over
+//! `mcsim::MemoryOracle`), so the numbers are deterministic and
+//! comparable run to run:
+//!
+//! - **mean_latency_cycles** — stripe-weighted pointer-chase latency of
+//!   one worker's arena, averaged over workers;
+//! - **aggregate_bw_gbs** — what all workers stream together against
+//!   their stripe mixes (per-socket caps applied);
+//! - **sort_merge_s / mapred_wordcount_s** — the application cost
+//!   models of Figs. 9/10 with their buffers routed through the policy.
+
+use mcsim::MachineSpec;
+use mctop_alloc::{
+    AllocCfg,
+    AllocPlan,
+    AllocPolicy,
+    MemoryBackend,
+    ModelBackend, //
+};
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+use mctop_sort::model::{
+    predict_alloc,
+    SortAlgo,
+    SortModelCfg, //
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    bytes_per_worker: usize,
+    platforms: Vec<Platform>,
+}
+
+#[derive(Serialize)]
+struct Platform {
+    preset: String,
+    workers: usize,
+    /// Streaming threads that saturate each socket's local controller.
+    saturation_threads: Vec<usize>,
+    policies: Vec<PolicyRow>,
+}
+
+#[derive(Serialize)]
+struct PolicyRow {
+    policy: String,
+    mean_latency_cycles: f64,
+    aggregate_bw_gbs: f64,
+    sort_merge_s: f64,
+    mapred_wordcount_s: f64,
+}
+
+fn row(
+    spec: &MachineSpec,
+    view: &mctop::TopoView,
+    place: &Placement,
+    policy: &AllocPolicy,
+) -> PolicyRow {
+    let plan = AllocPlan::resolve(view, place, policy, &AllocCfg::default())
+        .expect("enriched descriptions resolve every policy");
+    let mut backend = ModelBackend::new(spec);
+    let arenas = backend.provision(&plan).expect("modeled provisioning");
+    let mean_latency =
+        arenas.iter().map(|a| a.latency_cycles).sum::<f64>() / arenas.len().max(1) as f64;
+    let aggregate_bw: f64 = arenas.iter().map(|a| a.share_gbs).sum();
+
+    let sort = predict_alloc(
+        spec,
+        view,
+        SortAlgo::Mctop,
+        place.capacity(),
+        &SortModelCfg::default(),
+        policy,
+    )
+    .expect("policy evaluates on enriched topologies");
+    let wordcount = mctop_mapred::model::fig10_profiles()
+        .into_iter()
+        .find(|p| p.name == "Word Count")
+        .expect("Word Count profile exists");
+    let mapred = mctop_mapred::model::exec_time_alloc(spec, view, place, &wordcount, policy)
+        .expect("policy evaluates on enriched topologies");
+
+    PolicyRow {
+        policy: policy.to_string(),
+        mean_latency_cycles: mean_latency,
+        aggregate_bw_gbs: aggregate_bw,
+        sort_merge_s: sort.merge_s,
+        mapred_wordcount_s: mapred,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_alloc.json".into());
+
+    let mut platforms = Vec::new();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let view = mctop_bench::enriched_view(&spec);
+        // One worker per physical core: the streaming sweet spot (SMT
+        // siblings share load ports and add no bandwidth).
+        let workers = view.num_cores();
+        let place = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(workers))
+            .expect("RR placement succeeds");
+        let saturation: Vec<usize> = (0..view.num_sockets())
+            .map(|s| mctop_alloc::plan::saturation_threads(&view, s).expect("enriched"))
+            .collect();
+        let policies: Vec<PolicyRow> = [
+            AllocPolicy::Local,
+            AllocPolicy::Interleave,
+            AllocPolicy::BwProportional,
+        ]
+        .iter()
+        .map(|p| row(&spec, &view, &place, p))
+        .collect();
+        eprintln!(
+            "{:<9} {:>3} workers  lat {:>6.1}/{:>6.1}/{:>6.1} cy  bw {:>6.1}/{:>6.1}/{:>6.1} GB/s",
+            spec.name,
+            workers,
+            policies[0].mean_latency_cycles,
+            policies[1].mean_latency_cycles,
+            policies[2].mean_latency_cycles,
+            policies[0].aggregate_bw_gbs,
+            policies[1].aggregate_bw_gbs,
+            policies[2].aggregate_bw_gbs,
+        );
+        platforms.push(Platform {
+            preset: spec.name.clone(),
+            workers,
+            saturation_threads: saturation,
+            policies,
+        });
+    }
+
+    let report = Report {
+        bench: "alloc",
+        bytes_per_worker: AllocCfg::default().bytes_per_worker,
+        platforms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,76 @@
+//! # mctop-alloc — topology-aware memory placement
+//!
+//! The memory half of `mctop_alloc` (Sections 4–5 of the MCTOP paper):
+//! where [`mctop_place`] decides *which hardware contexts run the
+//! threads*, this crate decides *which NUMA nodes back their memory*.
+//! An [`AllocPolicy`] plus a [`mctop_place::Placement`] resolve — over
+//! the enriched topology behind an [`mctop::TopoView`] — into an
+//! [`AllocPlan`]: one arena per worker, each arena striped over memory
+//! nodes at page granularity, plus the per-socket bandwidth-saturation
+//! thread counts that the RR_SCALE-style policies need.
+//!
+//! Two backends realize a plan behind the one [`MemoryBackend`] trait:
+//!
+//! - [`ModelBackend`] charges the plan's costs through
+//!   [`mcsim::MemoryOracle`] — deterministic, noiseless, comparable
+//!   across policies, which is what CI and the `BENCH_alloc.json`
+//!   harness use;
+//! - [`HostBackend`] provisions real buffers on the machine running the
+//!   process: each stripe is zero-initialized (*first-touched*) by a
+//!   pinned [`mctop_runtime::WorkerPool`] worker sitting on the
+//!   stripe's node, so on a NUMA host with first-touch page placement
+//!   the pages land on the planned nodes without `mbind`.
+//!
+//! # Example
+//!
+//! Resolve a bandwidth-proportional plan for eight workers on the
+//! paper's Ivy Bridge machine and inspect the stripes:
+//!
+//! ```
+//! use mctop_alloc::{AllocCfg, AllocPlan, AllocPolicy};
+//! use mctop_place::{PlaceOpts, Placement, Policy};
+//!
+//! let reg = mctop::Registry::shipped();
+//! let view = reg.view("ivy").unwrap();
+//! let place = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(8)).unwrap();
+//!
+//! let plan = AllocPlan::resolve(
+//!     &view,
+//!     &place,
+//!     &AllocPolicy::BwProportional,
+//!     &AllocCfg::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(plan.arenas.len(), 8);
+//! // Every worker's arena is striped over both of Ivy's nodes, more
+//! // bytes on the faster (local) route.
+//! for arena in &plan.arenas {
+//!     assert_eq!(arena.stripes.len(), 2);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod model;
+pub mod plan;
+pub mod policy;
+
+pub use backend::{
+    HostArena,
+    HostBackend,
+    MemoryBackend,
+    ModelBackend,
+    ModeledArena, //
+};
+pub use plan::{
+    AllocCfg,
+    AllocPlan,
+    NodeStripe,
+    SocketSaturation,
+    WorkerArena, //
+};
+pub use policy::{
+    AllocError,
+    AllocPolicy, //
+};

@@ -1,0 +1,446 @@
+//! Plan resolution: policy × placement × enriched topology → one
+//! page-striped arena per worker.
+
+use mctop::view::TopoView;
+use mctop_place::Placement;
+
+use crate::policy::{
+    AllocError,
+    AllocPolicy, //
+};
+
+/// Sizing knobs for plan resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocCfg {
+    /// Arena bytes per worker (rounded up to whole pages).
+    pub bytes_per_worker: usize,
+    /// Page size used for stripe granularity.
+    pub page_size: usize,
+}
+
+impl Default for AllocCfg {
+    /// 64 MiB arenas of 4 KiB pages: far past every modelled LLC, so
+    /// modeled costs are memory costs, and fine-grained enough that
+    /// page rounding distorts stripe ratios by well under 1%.
+    fn default() -> Self {
+        AllocCfg {
+            bytes_per_worker: 64 * 1024 * 1024,
+            page_size: 4096,
+        }
+    }
+}
+
+/// A contiguous run of pages of one arena backed by one memory node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStripe {
+    /// Backing memory node.
+    pub node: usize,
+    /// Whole pages in this stripe.
+    pub pages: usize,
+    /// Bytes in this stripe (`pages * page_size`).
+    pub bytes: usize,
+    /// The worker (dense placement index) that must first-touch this
+    /// stripe so first-touch page placement lands it on `node`: the
+    /// first placed worker whose socket is local to the node, falling
+    /// back to the arena's owner when no placed worker sits there.
+    pub touch_worker: usize,
+}
+
+/// One worker's resolved memory arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerArena {
+    /// Dense worker index (placement slot).
+    pub worker: usize,
+    /// The worker's hardware context.
+    pub hwc: usize,
+    /// The worker's socket.
+    pub socket: usize,
+    /// Node stripes, ascending node id; bytes sum to the plan's
+    /// (page-rounded) arena size. Zero-page stripes are omitted.
+    pub stripes: Vec<NodeStripe>,
+}
+
+/// Bandwidth-saturation thread count of one socket, from the enriched
+/// description: how many streaming threads saturate the socket's local
+/// memory controller (`ceil(local_bw / single_core_bw)`, the RR_SCALE
+/// input of Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketSaturation {
+    /// Socket id.
+    pub socket: usize,
+    /// Its local node, if known.
+    pub local_node: Option<usize>,
+    /// Streaming threads needed to saturate the local controller
+    /// (`None` when the topology lacks bandwidth measurements).
+    pub threads: Option<usize>,
+}
+
+/// A fully-resolved memory plan: per-worker arenas plus plan-level
+/// saturation data. Resolution is deterministic — the same view,
+/// placement, policy and config always produce the identical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocPlan {
+    /// The policy that produced the plan.
+    pub policy: AllocPolicy,
+    /// Machine name of the topology.
+    pub machine: String,
+    /// Arena bytes per worker, rounded up to whole pages.
+    pub bytes_per_worker: usize,
+    /// Page size of the stripes.
+    pub page_size: usize,
+    /// Memory nodes of the machine (totals always cover all of them).
+    pub nodes: usize,
+    /// One arena per placement slot, in placement order.
+    pub arenas: Vec<WorkerArena>,
+    /// Saturation thread counts for every socket of the machine.
+    pub saturation: Vec<SocketSaturation>,
+}
+
+impl AllocPlan {
+    /// Resolves a plan for every worker of `placement` over the
+    /// enriched topology behind `view`.
+    pub fn resolve(
+        view: &TopoView,
+        placement: &Placement,
+        policy: &AllocPolicy,
+        cfg: &AllocCfg,
+    ) -> Result<AllocPlan, AllocError> {
+        if cfg.bytes_per_worker == 0 || cfg.page_size == 0 {
+            return Err(AllocError::ZeroArena);
+        }
+        let pages = cfg.bytes_per_worker.div_ceil(cfg.page_size);
+        let bytes_per_worker = pages * cfg.page_size;
+        let order = placement.order();
+
+        // First placed worker on each node, for first-touch delegation.
+        let mut first_on_node: Vec<Option<usize>> = vec![None; view.num_nodes()];
+        for (w, &hwc) in order.iter().enumerate() {
+            if let Some(node) = view.node_of(hwc) {
+                first_on_node[node].get_or_insert(w);
+            }
+        }
+
+        let mut arenas = Vec::with_capacity(order.len());
+        for (worker, &hwc) in order.iter().enumerate() {
+            let socket = view.socket_of(hwc);
+            let weights = policy.socket_weights(view, socket)?;
+            let per_node = apportion(pages, &weights);
+            let stripes: Vec<NodeStripe> = per_node
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p > 0)
+                .map(|(node, &p)| NodeStripe {
+                    node,
+                    pages: p,
+                    bytes: p * cfg.page_size,
+                    touch_worker: first_on_node[node].unwrap_or(worker),
+                })
+                .collect();
+            arenas.push(WorkerArena {
+                worker,
+                hwc,
+                socket,
+                stripes,
+            });
+        }
+
+        let saturation = (0..view.num_sockets())
+            .map(|s| SocketSaturation {
+                socket: s,
+                local_node: view.sockets[s].local_node,
+                threads: saturation_threads(view, s),
+            })
+            .collect();
+
+        Ok(AllocPlan {
+            policy: policy.clone(),
+            machine: view.name.clone(),
+            bytes_per_worker,
+            page_size: cfg.page_size,
+            nodes: view.num_nodes(),
+            arenas,
+            saturation,
+        })
+    }
+
+    /// Total pages and bytes per arena stripe on every node of the
+    /// machine, ascending node id (nodes with zero pages included).
+    pub fn node_totals(&self) -> Vec<(usize, usize, usize)> {
+        let mut pages = vec![0usize; self.nodes];
+        for arena in &self.arenas {
+            for stripe in &arena.stripes {
+                pages[stripe.node] += stripe.pages;
+            }
+        }
+        pages
+            .iter()
+            .enumerate()
+            .map(|(node, &p)| (node, p, p * self.page_size))
+            .collect()
+    }
+
+    /// The `mctop_alloc` statistics block (the memory-side sibling of
+    /// the Fig. 7 placement printout). Deterministic; golden-tested
+    /// through `mct query alloc-plan`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## MCTOP Alloc : {} on {}", self.policy, self.machine);
+        let _ = writeln!(
+            out,
+            "# Workers          : {} x {} KiB arenas ({} pages of {} B)",
+            self.arenas.len(),
+            self.bytes_per_worker / 1024,
+            self.bytes_per_worker / self.page_size,
+            self.page_size
+        );
+        let sat: Vec<String> = self
+            .saturation
+            .iter()
+            .map(|s| {
+                let threads = s.threads.map_or_else(|| "?".to_string(), |t| t.to_string());
+                format!("s{}: {threads}", s.socket)
+            })
+            .collect();
+        let _ = writeln!(out, "# Saturation thr.  : {}", sat.join("  "));
+        for arena in &self.arenas {
+            let stripes: Vec<String> = arena
+                .stripes
+                .iter()
+                .map(|s| format!("n{}: {:>6}p (touch w{})", s.node, s.pages, s.touch_worker))
+                .collect();
+            let _ = writeln!(
+                out,
+                "# worker {:>3} hwc {:>3} socket {:>2} : {}",
+                arena.worker,
+                arena.hwc,
+                arena.socket,
+                stripes.join("  ")
+            );
+        }
+        let totals: Vec<String> = self
+            .node_totals()
+            .iter()
+            .map(|&(node, pages, bytes)| format!("n{node}: {pages}p ({} KiB)", bytes / 1024))
+            .collect();
+        let _ = writeln!(out, "# Node totals      : {}", totals.join("  "));
+        out
+    }
+}
+
+/// Streaming threads needed to saturate a socket's local memory
+/// controller, from the enriched measurements (`None` when the
+/// bandwidth plugin has not run). Thin front for
+/// [`mctop::model::Socket::threads_to_saturate`] — the one shared
+/// definition of the RR_SCALE saturation arithmetic.
+pub fn saturation_threads(topo: &mctop::Mctop, socket: usize) -> Option<usize> {
+    topo.sockets[socket].threads_to_saturate()
+}
+
+/// Largest-remainder apportionment of `total` whole pages over
+/// non-negative weights (ties broken toward lower node ids), so stripe
+/// ratios track the weights as closely as whole pages allow.
+fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || weights.is_empty() {
+        return vec![0; weights.len()];
+    }
+    let mut out = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let quota = total as f64 * w / sum;
+        let base = quota.floor() as usize;
+        out.push(base);
+        assigned += base;
+        remainders.push((i, quota - base as f64));
+    }
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("remainders are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    for &(i, _) in remainders.iter().take(total - assigned) {
+        out[i] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop_place::{
+        PlaceOpts,
+        Policy, //
+    };
+
+    fn view(name: &str) -> std::sync::Arc<TopoView> {
+        mctop::Registry::shipped().view(name).unwrap()
+    }
+
+    fn place(view: &TopoView, n: usize) -> Placement {
+        Placement::with_view(view, Policy::RrCore, PlaceOpts::threads(n)).unwrap()
+    }
+
+    #[test]
+    fn apportion_is_exact_and_fair() {
+        assert_eq!(apportion(10, &[1.0, 1.0]), vec![5, 5]);
+        assert_eq!(apportion(10, &[3.0, 1.0]), vec![8, 2]);
+        // Remainders: 3.33/3.33/3.33 -> ties toward lower ids.
+        assert_eq!(apportion(10, &[1.0, 1.0, 1.0]), vec![4, 3, 3]);
+        assert_eq!(apportion(0, &[1.0, 2.0]), vec![0, 0]);
+        let parts = apportion(16384, &[24.3, 14.2]);
+        assert_eq!(parts.iter().sum::<usize>(), 16384);
+    }
+
+    #[test]
+    fn local_plan_is_single_stripe_on_local_node() {
+        let v = view("ivy");
+        let p = place(&v, 8);
+        let plan = AllocPlan::resolve(&v, &p, &AllocPolicy::Local, &AllocCfg::default()).unwrap();
+        assert_eq!(plan.arenas.len(), 8);
+        for arena in &plan.arenas {
+            assert_eq!(arena.stripes.len(), 1);
+            let stripe = &arena.stripes[0];
+            assert_eq!(Some(stripe.node), v.node_of(arena.hwc));
+            assert_eq!(stripe.bytes, plan.bytes_per_worker);
+            // Local stripes are first-touched by a worker on the node —
+            // which the owner itself is.
+            assert_eq!(v.node_of(p.order()[stripe.touch_worker]), Some(stripe.node));
+        }
+    }
+
+    #[test]
+    fn interleave_splits_evenly() {
+        let v = view("westmere");
+        let p = place(&v, 16);
+        let plan =
+            AllocPlan::resolve(&v, &p, &AllocPolicy::Interleave, &AllocCfg::default()).unwrap();
+        let pages = plan.bytes_per_worker / plan.page_size;
+        for arena in &plan.arenas {
+            assert_eq!(arena.stripes.len(), 8);
+            let total: usize = arena.stripes.iter().map(|s| s.pages).sum();
+            assert_eq!(total, pages);
+            for s in &arena.stripes {
+                assert!(s.pages.abs_diff(pages / 8) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bw_proportional_tracks_measured_ratios() {
+        let v = view("ivy");
+        let p = place(&v, 4);
+        let plan =
+            AllocPlan::resolve(&v, &p, &AllocPolicy::BwProportional, &AllocCfg::default()).unwrap();
+        for arena in &plan.arenas {
+            let bws = &v.sockets[arena.socket].mem_bandwidths;
+            let wsum: f64 = bws.iter().sum();
+            let psum: f64 = arena.stripes.iter().map(|s| s.pages as f64).sum();
+            for stripe in &arena.stripes {
+                let got = stripe.pages as f64 / psum;
+                let want = bws[stripe.node] / wsum;
+                assert!(
+                    (got - want).abs() < 0.01,
+                    "node {}: {got} vs {want}",
+                    stripe.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn on_nodes_restricts_and_validates() {
+        let v = view("westmere");
+        let p = place(&v, 4);
+        let plan = AllocPlan::resolve(
+            &v,
+            &p,
+            &AllocPolicy::OnNodes(vec![2, 5]),
+            &AllocCfg::default(),
+        )
+        .unwrap();
+        for arena in &plan.arenas {
+            let nodes: Vec<usize> = arena.stripes.iter().map(|s| s.node).collect();
+            assert_eq!(nodes, vec![2, 5]);
+        }
+        assert_eq!(
+            AllocPlan::resolve(&v, &p, &AllocPolicy::OnNodes(vec![]), &AllocCfg::default()),
+            Err(AllocError::EmptyNodeSet)
+        );
+        assert_eq!(
+            AllocPlan::resolve(
+                &v,
+                &p,
+                &AllocPolicy::OnNodes(vec![99]),
+                &AllocCfg::default()
+            ),
+            Err(AllocError::NodeOutOfRange { node: 99, nodes: 8 })
+        );
+    }
+
+    #[test]
+    fn remote_stripes_are_touched_by_remote_workers() {
+        let v = view("ivy");
+        // RR over both sockets: every node has a placed worker.
+        let p = place(&v, 8);
+        let plan =
+            AllocPlan::resolve(&v, &p, &AllocPolicy::Interleave, &AllocCfg::default()).unwrap();
+        for arena in &plan.arenas {
+            for stripe in &arena.stripes {
+                let toucher_hwc = p.order()[stripe.touch_worker];
+                assert_eq!(v.node_of(toucher_hwc), Some(stripe.node));
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_counts_match_rr_scale_math() {
+        // Ivy: 24.3 GB/s local / 6.1 GB/s per core -> 4 threads.
+        let v = view("ivy");
+        let p = place(&v, 2);
+        let plan = AllocPlan::resolve(&v, &p, &AllocPolicy::Local, &AllocCfg::default()).unwrap();
+        assert_eq!(plan.saturation.len(), 2);
+        for s in &plan.saturation {
+            assert_eq!(s.threads, Some(4));
+        }
+    }
+
+    #[test]
+    fn odd_sizes_round_up_to_pages() {
+        let v = view("synth-small");
+        let p = place(&v, 2);
+        let cfg = AllocCfg {
+            bytes_per_worker: 10_000,
+            page_size: 4096,
+        };
+        let plan = AllocPlan::resolve(&v, &p, &AllocPolicy::Local, &cfg).unwrap();
+        assert_eq!(plan.bytes_per_worker, 3 * 4096);
+        assert_eq!(
+            AllocPlan::resolve(
+                &v,
+                &p,
+                &AllocPolicy::Local,
+                &AllocCfg {
+                    bytes_per_worker: 0,
+                    page_size: 4096
+                }
+            ),
+            Err(AllocError::ZeroArena)
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let v = view("synth-small");
+        let p = place(&v, 4);
+        let plan =
+            AllocPlan::resolve(&v, &p, &AllocPolicy::BwProportional, &AllocCfg::default()).unwrap();
+        let a = plan.render();
+        let b = plan.render();
+        assert_eq!(a, b);
+        assert!(a.contains("BW_PROPORTIONAL on synth-small"));
+        assert!(a.contains("# worker   0"));
+        assert!(a.contains("# Node totals"));
+    }
+}

@@ -78,6 +78,9 @@ QUERIES:
     core-of <hwc>               owning core of a context
     node-of <hwc>               local memory node of a context
     hwcs <socket> [cores-first] contexts of a socket, hand-out order
+    alloc-plan <policy> [n]     resolved memory plan for n RR_CORE-placed
+                                workers (default: all contexts); policies:
+                                local, interleave, bw, on-nodes:<ids>
 ";
 
 fn main() -> ExitCode {

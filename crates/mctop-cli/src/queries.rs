@@ -4,6 +4,16 @@
 use std::sync::Arc;
 
 use mctop::TopoView;
+use mctop_alloc::{
+    AllocCfg,
+    AllocPlan,
+    AllocPolicy, //
+};
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
 
 use crate::{
     parse,
@@ -100,6 +110,26 @@ pub fn cmd_query(args: &[String]) -> Result<(), CliError> {
                 view.socket_hwcs_compact(s)
             };
             println!("{}", list(ids));
+        }
+        "alloc-plan" => {
+            let (policy_s, threads) = match rest {
+                [p] => (p, None),
+                [p, t] => (p, Some(parse::<usize>(t, "thread count")?)),
+                _ => {
+                    return Err(CliError::Usage(
+                        "`alloc-plan` takes a policy and optionally a thread count".into(),
+                    ))
+                }
+            };
+            let policy: AllocPolicy = policy_s.parse().map_err(CliError::Usage)?;
+            let n = threads.unwrap_or(view.num_hwcs());
+            // RR_CORE: the round-robin hand-out spreads workers across
+            // every socket, so the plan shows each socket's stripes.
+            let place = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(n))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let plan = AllocPlan::resolve(&view, &place, &policy, &AllocCfg::default())
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            print!("{}", plan.render());
         }
         other => {
             return Err(CliError::Usage(format!(

@@ -1,0 +1,97 @@
+//! Golden tests for `mct query alloc-plan`: the rendered memory plan
+//! of every paper platform under every built-in policy is pinned
+//! byte-for-byte against `tests/golden_alloc/`.
+//!
+//! Regenerate after an intentional format or policy change with
+//! `MCT_UPDATE_GOLDEN=1 cargo test -p mctop-cli --test alloc_plan`.
+
+use std::path::PathBuf;
+use std::process::{
+    Command,
+    Output, //
+};
+
+const PLATFORMS: &[&str] = &["ivy", "opteron", "haswell", "westmere", "sparc"];
+const POLICIES: &[&str] = &["local", "interleave", "bw"];
+/// Small enough to keep goldens readable, large enough to use several
+/// sockets of every platform.
+const THREADS: &str = "8";
+
+fn mct(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mct"))
+        .args(args)
+        .output()
+        .expect("mct runs")
+}
+
+fn golden_path(machine: &str, policy: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_alloc")
+        .join(format!("{machine}-{policy}.txt"))
+}
+
+#[test]
+fn alloc_plan_matches_goldens_on_every_paper_platform() {
+    let update = std::env::var_os("MCT_UPDATE_GOLDEN").is_some();
+    for machine in PLATFORMS {
+        for policy in POLICIES {
+            let out = mct(&["query", machine, "alloc-plan", policy, THREADS]);
+            assert!(
+                out.status.success(),
+                "{machine}/{policy}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let got = String::from_utf8(out.stdout).expect("utf-8 plan");
+            let path = golden_path(machine, policy);
+            if update {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|_| panic!("missing golden {}", path.display()));
+            assert_eq!(
+                got,
+                want,
+                "{machine}/{policy} drifted from {} \
+                 (MCT_UPDATE_GOLDEN=1 to regenerate)",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn alloc_plan_defaults_to_every_context() {
+    let out = mct(&["query", "synth-small", "alloc-plan", "local"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    // synth-small has 16 contexts; with no thread count every one gets
+    // an arena.
+    assert!(text.contains("16 x"), "{text}");
+    assert!(text.contains("# worker  15"), "{text}");
+}
+
+#[test]
+fn alloc_plan_on_nodes_and_errors() {
+    let out = mct(&["query", "ivy", "alloc-plan", "on-nodes:1", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("ON_NODES(1)"), "{text}");
+    // Every stripe sits on node 1; node 0 only shows an empty total.
+    assert!(text.contains("n1:  16384p"), "{text}");
+    assert!(text.contains("n0: 0p (0 KiB)"), "{text}");
+
+    // Unknown policy: usage error, exit 2.
+    let out = mct(&["query", "ivy", "alloc-plan", "numa", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Node out of range: command failure, exit 1.
+    let out = mct(&["query", "ivy", "alloc-plan", "on-nodes:9", "4"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    // More workers than contexts: placement failure, exit 1.
+    let out = mct(&["query", "ivy", "alloc-plan", "local", "100"]);
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -499,14 +499,9 @@ fn policy_order(
             let caps: Vec<usize> = socket_order
                 .iter()
                 .map(|&s| {
-                    let local = view.local_bandwidth(s);
-                    let single = view.sockets[s].single_core_bw;
-                    match (local, single) {
-                        (Some(bw), Some(one)) if one > 0.0 => {
-                            Ok(((bw / one).ceil() as usize).max(1))
-                        }
-                        _ => Err(PlaceError::BandwidthUnavailable),
-                    }
+                    view.sockets[s]
+                        .threads_to_saturate()
+                        .ok_or(PlaceError::BandwidthUnavailable)
                 })
                 .collect::<Result<_, _>>()?;
             let per_socket: Vec<&[usize]> = socket_order

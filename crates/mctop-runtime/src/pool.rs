@@ -108,6 +108,29 @@ impl WorkerPool {
         F: Fn(WorkerCtx) -> R + Sync,
         R: Send,
     {
+        self.run_each(vec![(); self.n_workers], |ctx, ()| f(ctx))
+    }
+
+    /// Like [`WorkerPool::run`], but moves one owned input into each
+    /// worker: `inputs[i]` goes to worker `i`. This is how per-worker
+    /// resources — most importantly the memory arenas provisioned by
+    /// `mctop-alloc` — reach the thread that is pinned where the
+    /// resource lives, without shared-state synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the worker count.
+    pub fn run_each<T, F, R>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        F: Fn(WorkerCtx, T) -> R + Sync,
+        R: Send,
+    {
+        assert_eq!(
+            inputs.len(),
+            self.n_workers,
+            "one input per worker required"
+        );
         let handles: Vec<PinHandle> = (0..self.n_workers)
             .map(|_| {
                 self.placement
@@ -124,7 +147,12 @@ impl WorkerPool {
         results.resize_with(n, || None);
         std::thread::scope(|scope| {
             let mut join = Vec::with_capacity(n);
-            for (id, (pin, slot)) in handles.iter().zip(results.iter_mut()).enumerate() {
+            for (id, ((pin, slot), input)) in handles
+                .iter()
+                .zip(results.iter_mut())
+                .zip(inputs)
+                .enumerate()
+            {
                 let f = &f;
                 let pin = *pin;
                 join.push(scope.spawn(move || {
@@ -133,11 +161,14 @@ impl WorkerPool {
                     if os_pin && pin.hwc < host_cpus {
                         let _ = pin_os_thread(pin.hwc);
                     }
-                    *slot = Some(f(WorkerCtx {
-                        id,
-                        n_workers: n,
-                        pin,
-                    }));
+                    *slot = Some(f(
+                        WorkerCtx {
+                            id,
+                            n_workers: n,
+                            pin,
+                        },
+                        input,
+                    ));
                 }));
             }
             for j in join {
@@ -226,5 +257,23 @@ mod tests {
     #[should_panic(expected = "worker count out of range")]
     fn oversized_pool_rejected() {
         let _ = WorkerPool::with_workers(placement(2, Policy::ConHwc), 3);
+    }
+
+    #[test]
+    fn run_each_moves_one_input_per_worker() {
+        let pool = WorkerPool::new(placement(4, Policy::ConHwc)).without_os_pinning();
+        let inputs: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; i + 1]).collect();
+        let out = pool.run_each(inputs, |ctx, v| {
+            assert_eq!(v.len(), ctx.id + 1);
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![0, 2, 6, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per worker")]
+    fn run_each_rejects_wrong_input_count() {
+        let pool = WorkerPool::new(placement(2, Policy::ConHwc)).without_os_pinning();
+        let _ = pool.run_each(vec![1u8], |_, _| ());
     }
 }

@@ -13,6 +13,7 @@
 use mcsim::MachineSpec;
 use mctop::view::TopoView;
 use mctop::Mctop;
+use mctop_alloc::AllocPolicy;
 
 use crate::tree::MergeTree;
 
@@ -101,7 +102,8 @@ pub fn predict(
     predict_with_view(spec, &view, algo, n_threads, cfg)
 }
 
-/// Predicts one bar of Fig. 9 over a prebuilt topology view.
+/// Predicts one bar of Fig. 9 over a prebuilt topology view, with the
+/// merge buffers on every thread's local node (the paper's placement).
 pub fn predict_with_view(
     spec: &MachineSpec,
     topo: &TopoView,
@@ -109,6 +111,25 @@ pub fn predict_with_view(
     n_threads: usize,
     cfg: &SortModelCfg,
 ) -> SortTime {
+    predict_alloc(spec, topo, algo, n_threads, cfg, &AllocPolicy::Local)
+        .expect("the LOCAL policy always resolves")
+}
+
+/// [`predict_with_view`] with the merge buffers routed through an
+/// explicit [`AllocPolicy`]: every bandwidth term charges the policy's
+/// stripe mix (via `mctop_alloc::model`) instead of assuming
+/// local-node buffers. `AllocPolicy::Local` reproduces
+/// [`predict_with_view`] bit-exactly; any other policy that cannot be
+/// evaluated on this topology (unenriched, bad node set) is an error —
+/// never silently priced like `Local`.
+pub fn predict_alloc(
+    spec: &MachineSpec,
+    topo: &TopoView,
+    algo: SortAlgo,
+    n_threads: usize,
+    cfg: &SortModelCfg,
+    alloc: &AllocPolicy,
+) -> Result<SortTime, mctop_alloc::AllocError> {
     let p = n_threads.max(1) as f64;
     let f_hz = spec.freq_ghz * 1e9;
     let e = cfg.elements as f64;
@@ -130,12 +151,22 @@ pub fn predict_with_view(
 
     let sockets_used = topo.num_sockets().min(n_threads).max(1);
     let threads_per_socket = (n_threads as f64 / sockets_used as f64).max(1.0);
-    let local_bw = |s: usize| -> f64 {
-        topo.sockets[s]
-            .local_bandwidth()
-            .unwrap_or(spec.mem.local_bandwidth)
-            * 1e9
-    };
+    // What each socket can stream against buffers striped per the
+    // allocation policy (LOCAL = the socket's local bandwidth, i.e. the
+    // legacy ad-hoc node math; other policies mix in remote routes).
+    // Precomputed once: topology and policy are fixed for the call.
+    // Only LOCAL keeps the legacy fallback for an unmeasured local
+    // bandwidth; policy errors propagate instead of pricing as LOCAL.
+    let socket_bw: Vec<f64> = (0..topo.num_sockets())
+        .map(
+            |s| match mctop_alloc::model::socket_policy_bandwidth(topo, s, alloc) {
+                Ok(bw) => Ok(bw * 1e9),
+                Err(_) if matches!(alloc, AllocPolicy::Local) => Ok(spec.mem.local_bandwidth * 1e9),
+                Err(e) => Err(e),
+            },
+        )
+        .collect::<Result<_, _>>()?;
+    let local_bw = |s: usize| -> f64 { socket_bw[s] };
 
     let mut merge_s = 0.0;
     match algo {
@@ -209,7 +240,7 @@ pub fn predict_with_view(
             }
         }
     }
-    SortTime { seq_s, merge_s }
+    Ok(SortTime { seq_s, merge_s })
 }
 
 /// One Fig. 9 column: all three algorithms (SSE skipped on SPARC, which
@@ -316,6 +347,52 @@ mod tests {
             let tfull = predict(&spec, &topo, SortAlgo::Mctop, spec.total_hwcs(), &cfg);
             assert!(tfull.total() < t16.total(), "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn alloc_policy_routes_merge_bandwidth() {
+        // LOCAL reproduces the default model bit-exactly; INTERLEAVE
+        // mixes remote routes into every merge stream, so merging can
+        // only get slower, while the CPU-bound first phase is unmoved.
+        let cfg = SortModelCfg::default();
+        for spec in [mcsim::presets::ivy(), mcsim::presets::westmere()] {
+            let topo = enriched(&spec);
+            let view = TopoView::build(&topo).unwrap();
+            let base = predict_with_view(&spec, &view, SortAlgo::Mctop, 16, &cfg);
+            let local = predict_alloc(&spec, &view, SortAlgo::Mctop, 16, &cfg, &AllocPolicy::Local)
+                .unwrap();
+            assert_eq!(base, local, "{}", spec.name);
+            let inter = predict_alloc(
+                &spec,
+                &view,
+                SortAlgo::Mctop,
+                16,
+                &cfg,
+                &AllocPolicy::Interleave,
+            )
+            .unwrap();
+            assert!((inter.seq_s - local.seq_s).abs() < 1e-12, "{}", spec.name);
+            assert!(
+                inter.merge_s > local.merge_s,
+                "{}: interleave {} vs local {}",
+                spec.name,
+                inter.merge_s,
+                local.merge_s
+            );
+        }
+        // An unevaluable policy is an error, never priced like LOCAL.
+        let spec = mcsim::presets::ivy();
+        let topo = enriched(&spec);
+        let view = TopoView::build(&topo).unwrap();
+        let bad = predict_alloc(
+            &spec,
+            &view,
+            SortAlgo::Mctop,
+            16,
+            &cfg,
+            &AllocPolicy::OnNodes(vec![99]),
+        );
+        assert!(bad.is_err());
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! `descs/` library: a deterministic (noiseless, fixed-config)
 //! inference plus full enrichment. `mct regen-descs`, the shipped
 //! registry and the golden tests all go through it.
+//!
+//! # Examples
+//!
+//! ```
+//! // Parse a shipped description and inspect its provenance header.
+//! let text = mctop::registry::shipped_source("ivy").unwrap();
+//! let (topo, prov) = mctop::desc::from_str_full(text).unwrap();
+//! assert_eq!(topo.name, "ivy");
+//! assert_eq!(prov.machine, "ivy");
+//! assert!(prov.enriched);
+//! assert_eq!(prov.seed, None); // canonical descriptions are noiseless
+//! ```
 
 use std::path::Path;
 

@@ -158,6 +158,72 @@ mod tests {
     }
 
     #[test]
+    fn ivy_bandwidths_pin_hand_computed_values() {
+        // Pin the full per-(socket, node) bandwidth matrix of Ivy
+        // against values derived by hand from the machine model:
+        //
+        // - local routes see the controller: 24.3 GB/s;
+        // - the remote route (s, n) is capped by
+        //   min(remote_bw, link_bw) = min(16.0, 16.0) = 16.0 GB/s and
+        //   scaled by the deterministic routing jitter
+        //   0.85 + 0.15 * (((s * 0x9E37_79B9 + n) * 0x85EB_CA6B mod 2^64) >> 16 % 1000) / 1000:
+        //   (0,1): jitter = 0.85 + 0.15 * 0.254 = 0.89245 -> 14.2792
+        //   (1,0): jitter = 0.85 + 0.15 * 0.222 = 0.88330 -> 14.1328
+        let spec = presets::ivy();
+        let mut topo = inferred(&spec);
+        let mut e = SimEnricher::new(&spec);
+        latency_plugin(&mut topo, &mut e).unwrap();
+        bandwidth_plugin(&mut topo, &mut e).unwrap();
+
+        let s0 = &topo.sockets[0].mem_bandwidths;
+        let s1 = &topo.sockets[1].mem_bandwidths;
+        assert!((s0[0] - 24.3).abs() < 1e-9, "{s0:?}");
+        assert!((s0[1] - 14.2792).abs() < 1e-9, "{s0:?}");
+        assert!((s1[0] - 14.1328).abs() < 1e-9, "{s1:?}");
+        assert!((s1[1] - 24.3).abs() < 1e-9, "{s1:?}");
+        // One core streams min(per_core, local) = 6.1 GB/s.
+        assert!((topo.sockets[0].single_core_bw.unwrap() - 6.1).abs() < 1e-9);
+        // The link record carries what socket 0 streams from node 1.
+        assert!((topo.link(0, 1).unwrap().bandwidth.unwrap() - 14.2792).abs() < 1e-9);
+
+        // The bandwidth-proportional stripe ratio this matrix implies
+        // for socket 0: 24.3 / (24.3 + 14.2792) = 0.629872... — i.e.
+        // 10320 of 16384 pages, which `mct query alloc-plan bw` pins in
+        // its golden files.
+        let frac = s0[0] / (s0[0] + s0[1]);
+        assert!((frac - 0.629_872_56).abs() < 1e-6, "{frac}");
+        assert_eq!((16384.0 * frac).round() as usize, 10320);
+    }
+
+    #[test]
+    fn saturation_thread_counts_pin_hand_computed_values() {
+        // RR_SCALE / mctop-alloc saturation arithmetic,
+        // ceil(local_bw / single_core_bw), against hand-computed
+        // values on two presets:
+        //   ivy:      ceil(24.3 / 6.1) = ceil(3.984) = 4
+        //   westmere: ceil(13.1 / 3.3) = ceil(3.970) = 4  (and not 3!)
+        for (spec, want) in [(presets::ivy(), 4), (presets::westmere(), 4)] {
+            let mut topo = inferred(&spec);
+            let mut e = SimEnricher::new(&spec);
+            latency_plugin(&mut topo, &mut e).unwrap();
+            bandwidth_plugin(&mut topo, &mut e).unwrap();
+            for s in &topo.sockets {
+                let local = s.local_bandwidth().unwrap();
+                let single = s.single_core_bw.unwrap();
+                let threads = (local / single).ceil() as usize;
+                assert_eq!(threads, want, "{} socket {}", spec.name, s.id);
+                // The shared helper behind RR_SCALE and mctop-alloc
+                // computes the same count...
+                assert_eq!(s.threads_to_saturate(), Some(want));
+                // ...and agrees with the oracle the policy was
+                // calibrated against.
+                let oracle = mcsim::MemoryOracle::noiseless(&spec);
+                assert_eq!(oracle.threads_to_saturate(s.id), want);
+            }
+        }
+    }
+
+    #[test]
     fn bandwidths_local_exceed_remote() {
         let spec = presets::westmere();
         let mut topo = inferred(&spec);

@@ -54,6 +54,8 @@
 //! assert_eq!(topo.get_latency(0, 10), 308);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod alg;
 pub mod backend;
 pub mod desc;

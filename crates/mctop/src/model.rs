@@ -135,6 +135,20 @@ impl Socket {
         let node = self.local_node?;
         self.mem_latencies.get(node).copied()
     }
+
+    /// Streaming threads needed to saturate this socket's local memory
+    /// controller: `ceil(local_bw / single_core_bw)`, at least 1. This
+    /// is the single definition of the saturation arithmetic shared by
+    /// the RR_SCALE placement policy and the `mctop-alloc` plans;
+    /// `None` when the bandwidth plugin has not measured the socket.
+    pub fn threads_to_saturate(&self) -> Option<usize> {
+        let local = self.local_bandwidth()?;
+        let single = self.single_core_bw?;
+        if single <= 0.0 {
+            return None;
+        }
+        Some(((local / single).ceil() as usize).max(1))
+    }
 }
 
 /// `node` of Table 1: a memory node.

@@ -12,6 +12,17 @@
 //! All policies take a [`TopoView`]: the caller builds the view once
 //! per topology and every policy below is then a cache lookup plus a
 //! short loop, instead of a fresh scan over the model arenas.
+//!
+//! # Examples
+//!
+//! ```
+//! let view = mctop::Registry::shipped().view("ivy").unwrap();
+//! // "Use one hardware context per core": 20 physical cores on Ivy.
+//! let per_core = mctop::policies::one_hwc_per_core(&view);
+//! assert_eq!(per_core.len(), 20);
+//! // "Use any two sockets that minimize latency".
+//! assert_eq!(mctop::policies::two_sockets_min_latency(&view), Some((0, 1)));
+//! ```
 
 use crate::view::TopoView;
 

@@ -11,6 +11,17 @@
 //! their answer on every call. Hot paths (placement construction, merge
 //! trees, policy loops) should build a [`crate::view::TopoView`] once
 //! and use its precomputed O(1) lookups instead.
+//!
+//! # Examples
+//!
+//! ```
+//! let topo = mctop::Registry::shipped().topo("ivy").unwrap();
+//! // Ivy has two sockets 308 cycles apart (Fig. 6).
+//! assert_eq!(topo.closest_sockets(0), vec![1]);
+//! assert_eq!(topo.socket_latency(0, 1), 308);
+//! // Contexts 0 and 20 are SMT siblings of core 0 on socket 0.
+//! assert_eq!(topo.socket_of(20), 0);
+//! ```
 
 use crate::error::McTopError;
 use crate::model::Mctop;

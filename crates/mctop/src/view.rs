@@ -20,6 +20,19 @@
 //! keeps the reference implementations; `tests/proptest_invariants.rs`
 //! asserts view answers are identical to the naive ones on every
 //! simulated machine.
+//!
+//! # Examples
+//!
+//! ```
+//! let view = mctop::Registry::shipped().view("ivy").unwrap();
+//! assert_eq!(view.closest_sockets(0), &[1]);
+//! assert_eq!(view.socket_latency(0, 1), 308);
+//! // The CON-policy walk starts at the max-bandwidth socket.
+//! assert_eq!(
+//!     view.socket_order_bandwidth_proximity()[0],
+//!     view.max_bandwidth_socket()
+//! );
+//! ```
 
 use std::ops::Deref;
 use std::sync::Arc;

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Walks the given files/directories (default: README.md, DESIGN.md,
+ROADMAP.md, docs/, crates/*/README.md), extracts inline markdown links
+and checks that every *relative* link target exists on disk, so the
+cross-linked documentation cannot rot silently. External links
+(http/https/mailto) are intentionally not fetched — CI runs offline.
+
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline links: [text](target). Reference-style links are not used in
+# this repository. The target match stops at the first ')' or space
+# (titles are not used either).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DEFAULT_TARGETS = [
+    "README.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "docs",
+    *sorted(glob.glob("crates/*/README.md")),
+]
+
+
+def markdown_files(targets):
+    for target in targets:
+        if os.path.isdir(target):
+            for root, _dirs, files in os.walk(target):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif target.endswith(".md") and os.path.isfile(target):
+            yield target
+
+
+def check_file(path):
+    errors = []
+    text = open(path, encoding="utf-8").read()
+    # Drop fenced code blocks: shell transcripts legitimately contain
+    # bracketed text that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]  # strip fragment
+        if not target:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link `{match.group(1)}` -> {resolved}")
+    return errors
+
+
+def main():
+    targets = sys.argv[1:] or DEFAULT_TARGETS
+    files = list(markdown_files(targets))
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
