@@ -1,0 +1,175 @@
+//! Executor dispatch overhead benchmark: per-call scoped-thread spawn
+//! versus persistent-executor dispatch, across the five paper
+//! platforms, emitted as `BENCH_executor.json` for the CI bench
+//! trajectory.
+//!
+//! Usage: `executor_overhead [OUT_PATH]` (default
+//! `BENCH_executor.json`).
+//!
+//! Each "call" runs one small task per worker — the shape of a
+//! repeated parallel workload invocation (a sort phase, a MapReduce
+//! job, an OpenMP region, an alloc first-touch pass). The scoped
+//! baseline spawns and joins fresh `std::thread::scope` threads every
+//! call (what every workload crate did before the executor refactor);
+//! the persistent rows dispatch the same tasks to the long-lived,
+//! already-placed executor workers. Arm cost is reported separately so
+//! the amortization point is visible.
+
+use std::time::Instant;
+
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+use mctop_runtime::{
+    ExecCfg,
+    Executor, //
+};
+use serde::Serialize;
+
+/// Dispatches per measured run.
+const REPS: usize = 300;
+/// Warm-up dispatches before each measurement.
+const WARMUP: usize = 20;
+/// Per-task work units (a dependent arithmetic chain, ~1 cycle each):
+/// small enough that dispatch overhead dominates, non-zero so the
+/// comparison is not a pure no-op race.
+const TASK_WORK: u64 = 2_000;
+/// Workers per platform (clamped to the platform's context count).
+const WORKERS: usize = 8;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    reps: usize,
+    task_work: u64,
+    workers: usize,
+    /// Hardware threads of the machine that produced the wall times.
+    hw_threads: usize,
+    platforms: Vec<Platform>,
+}
+
+#[derive(Serialize)]
+struct Platform {
+    preset: String,
+    contexts: usize,
+    workers: usize,
+    /// One-time executor arm cost (spawn + pin of all workers), µs.
+    arm_us: f64,
+    /// Per-call cost of spawning fresh scoped threads, µs.
+    scoped_us_per_call: f64,
+    /// Per-call cost of dispatching to the persistent executor, µs.
+    persistent_us_per_call: f64,
+    /// scoped / persistent: how much a repeated invocation gains.
+    speedup: f64,
+    /// Calls after which the arm cost has amortized (ceil), or 0 if
+    /// persistent dispatch is not faster per call.
+    breakeven_calls: u64,
+}
+
+#[inline]
+fn work(units: u64, salt: u64) -> u64 {
+    let mut x = units | salt | 1;
+    for i in 0..units {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(x)
+}
+
+/// The pre-refactor shape: one fresh scoped thread per worker per call.
+fn scoped_call(workers: usize) {
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || work(TASK_WORK, w as u64));
+        }
+    });
+}
+
+/// The persistent shape: one targeted task per worker per call.
+fn persistent_call(exec: &Executor) {
+    let _ = exec.run(|ctx| work(TASK_WORK, ctx.id as u64));
+}
+
+fn measure(label: &str, reps: usize, mut call: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        call();
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        call();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    let _ = label;
+    us
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_executor.json".into());
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let registry = mctop::Registry::shipped();
+
+    let mut platforms = Vec::new();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let view = registry.view(&spec.name).expect("shipped description");
+        let workers = WORKERS.min(view.num_hwcs());
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(workers))
+            .expect("RR placement");
+        // OS pinning off for both sides: the comparison is dispatch
+        // overhead, not host-affinity effects.
+        let cfg = ExecCfg {
+            workers: None,
+            os_pin: false,
+        };
+        let arm_start = Instant::now();
+        let exec = Executor::with_cfg(Some(&view), &placement, cfg);
+        let arm_us = arm_start.elapsed().as_secs_f64() * 1e6;
+
+        let scoped_us = measure("scoped", REPS, || scoped_call(workers));
+        let persistent_us = measure("persistent", REPS, || persistent_call(&exec));
+        let speedup = scoped_us / persistent_us;
+        let breakeven_calls = if persistent_us < scoped_us {
+            (arm_us / (scoped_us - persistent_us)).ceil() as u64
+        } else {
+            0
+        };
+        eprintln!(
+            "{:<9} {:>4} ctxs  {} workers  scoped {:>9.1} us/call  persistent {:>8.1} us/call  \
+             x{:.2}  arm {:>8.1} us (breakeven {} calls)",
+            spec.name,
+            view.num_hwcs(),
+            workers,
+            scoped_us,
+            persistent_us,
+            speedup,
+            arm_us,
+            breakeven_calls
+        );
+        platforms.push(Platform {
+            preset: spec.name.clone(),
+            contexts: view.num_hwcs(),
+            workers,
+            arm_us,
+            scoped_us_per_call: scoped_us,
+            persistent_us_per_call: persistent_us,
+            speedup,
+            breakeven_calls,
+        });
+    }
+
+    let report = Report {
+        bench: "executor_overhead",
+        reps: REPS,
+        task_work: TASK_WORK,
+        workers: WORKERS,
+        hw_threads,
+        platforms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,6 +1,9 @@
 //! The two realizations of an [`AllocPlan`]: modeled costs through the
 //! simulator's memory oracle, and real first-touch buffers through a
-//! pinned worker pool.
+//! pinned worker pool — whose `run_each` now dispatches to the
+//! persistent `mctop-runtime` executor, so repeated provisioning
+//! re-uses the same pinned workers instead of spawning scoped threads
+//! per call.
 
 use std::mem::MaybeUninit;
 
@@ -151,8 +154,9 @@ impl HostArena {
 }
 
 /// The host backend: provisions one real buffer per worker and has the
-/// plan's designated *touch workers* — pinned pool threads sitting on
-/// each stripe's memory node — zero-fill (first-touch) their stripes.
+/// plan's designated *touch workers* — persistent executor workers
+/// pinned where each stripe's memory node lives — zero-fill
+/// (first-touch) their stripes via targeted (never stolen) tasks.
 /// On a NUMA host with default first-touch page placement this backs
 /// every stripe by its planned node without `mbind`/`libnuma`; on any
 /// other host it degrades to plain allocation.

@@ -2,6 +2,12 @@
 //! Fig. 8 experiment: multiple threads compete for one lock, perform
 //! 1000 cycles of work in the critical section, release, and pause
 //! between iterations).
+//!
+//! Contenders run on a [`mctop_runtime::WorkerPool`] — i.e. on the
+//! persistent executor's placement-pinned workers — so the benchmark
+//! actually honors the placement it is given instead of spawning bare
+//! unpinned threads. Only the stop-flag timer is a plain thread (it
+//! sleeps; it never contends).
 
 use std::sync::atomic::{
     AtomicBool,
@@ -11,6 +17,8 @@ use std::sync::atomic::{
 use std::sync::Arc;
 use std::time::Duration;
 
+use mctop_runtime::WorkerPool;
+
 use crate::backoff::BackoffCfg;
 use crate::raw::{
     with_lock,
@@ -18,11 +26,10 @@ use crate::raw::{
     RawLock, //
 };
 
-/// Harness configuration.
+/// Harness configuration. The number of competing threads is the
+/// worker count of the pool passed to [`run`].
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessCfg {
-    /// Competing threads.
-    pub threads: usize,
     /// Critical-section work: iterations of a dependent arithmetic
     /// chain (~1 cycle each; the paper uses 1000 cycles).
     pub cs_work: u64,
@@ -35,7 +42,6 @@ pub struct HarnessCfg {
 impl Default for HarnessCfg {
     fn default() -> Self {
         HarnessCfg {
-            threads: 2,
             cs_work: 1000,
             noncs_work: 600,
             duration: Duration::from_millis(300),
@@ -46,6 +52,8 @@ impl Default for HarnessCfg {
 /// Result of one run.
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessResult {
+    /// Competing threads (the pool's worker count).
+    pub threads: usize,
     /// Total completed critical sections.
     pub ops: u64,
     /// Throughput, operations per second.
@@ -61,44 +69,45 @@ fn work(units: u64) -> u64 {
     std::hint::black_box(x)
 }
 
-/// Runs the throughput experiment for one lock configuration.
-pub fn run(algo: LockAlgo, backoff: BackoffCfg, cfg: &HarnessCfg) -> HarnessResult {
+/// Runs the throughput experiment for one lock configuration: every
+/// pool worker — pinned per the pool's placement — contends for the
+/// lock until the duration elapses.
+pub fn run(
+    pool: &WorkerPool,
+    algo: LockAlgo,
+    backoff: BackoffCfg,
+    cfg: &HarnessCfg,
+) -> HarnessResult {
     let lock: Arc<dyn RawLock + Send + Sync> = Arc::from(algo.build(backoff));
     let stop = Arc::new(AtomicBool::new(false));
-    let ops = Arc::new(AtomicU64::new(0));
     // Shared counter protected by the lock: doubles as a correctness
     // check (must equal total ops at the end).
-    let protected = Arc::new(AtomicU64::new(0));
+    let protected = AtomicU64::new(0);
 
-    let handles: Vec<_> = (0..cfg.threads)
-        .map(|_| {
-            let lock = Arc::clone(&lock);
-            let stop = Arc::clone(&stop);
-            let ops = Arc::clone(&ops);
-            let protected = Arc::clone(&protected);
-            let cfg = *cfg;
-            std::thread::spawn(move || {
-                let mut local = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    with_lock(&*lock, || {
-                        work(cfg.cs_work);
-                        // Relaxed is fine: the lock orders the accesses.
-                        protected.store(protected.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
-                    });
-                    local += 1;
-                    work(cfg.noncs_work);
-                }
-                ops.fetch_add(local, Ordering::Relaxed);
-            })
+    let timer = {
+        let stop = Arc::clone(&stop);
+        let duration = cfg.duration;
+        std::thread::spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
         })
-        .collect();
+    };
+    let per_worker: Vec<u64> = pool.run(|_ctx| {
+        let mut local = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            with_lock(&*lock, || {
+                work(cfg.cs_work);
+                // Relaxed is fine: the lock orders the accesses.
+                protected.store(protected.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            });
+            local += 1;
+            work(cfg.noncs_work);
+        }
+        local
+    });
+    timer.join().expect("timer thread panicked");
 
-    std::thread::sleep(cfg.duration);
-    stop.store(true, Ordering::Relaxed);
-    for h in handles {
-        h.join().expect("lock harness thread panicked");
-    }
-    let total = ops.load(Ordering::Relaxed);
+    let total: u64 = per_worker.iter().sum();
     assert_eq!(
         protected.load(Ordering::Relaxed),
         total,
@@ -106,6 +115,7 @@ pub fn run(algo: LockAlgo, backoff: BackoffCfg, cfg: &HarnessCfg) -> HarnessResu
         algo.name()
     );
     HarnessResult {
+        threads: pool.len(),
         ops: total,
         ops_per_sec: total as f64 / cfg.duration.as_secs_f64(),
     }
@@ -114,41 +124,62 @@ pub fn run(algo: LockAlgo, backoff: BackoffCfg, cfg: &HarnessCfg) -> HarnessResu
 /// Runs the with/without-backoff comparison (one Fig. 8 bar pair) on
 /// the host.
 pub fn compare(
+    pool: &WorkerPool,
     algo: LockAlgo,
     quantum_cycles: u32,
     cfg: &HarnessCfg,
 ) -> (HarnessResult, HarnessResult) {
-    let base = run(algo, BackoffCfg::none(), cfg);
-    let educated = run(algo, BackoffCfg { quantum_cycles }, cfg);
+    let base = run(pool, algo, BackoffCfg::none(), cfg);
+    let educated = run(pool, algo, BackoffCfg { quantum_cycles }, cfg);
     (base, educated)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mctop_place::{
+        PlaceOpts,
+        Placement,
+        Policy, //
+    };
+
+    fn pool(threads: usize) -> WorkerPool {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        let topo = mctop::infer(&mut p, &cfg).unwrap();
+        let place =
+            Arc::new(Placement::new(&topo, Policy::RrCore, PlaceOpts::threads(threads)).unwrap());
+        WorkerPool::new(place).without_os_pinning()
+    }
 
     #[test]
     fn all_algorithms_make_progress() {
+        let pool = pool(2);
         let cfg = HarnessCfg {
-            threads: 2,
             duration: Duration::from_millis(120),
             ..HarnessCfg::default()
         };
         for algo in LockAlgo::ALL {
-            let r = run(algo, BackoffCfg::none(), &cfg);
+            let r = run(&pool, algo, BackoffCfg::none(), &cfg);
+            assert_eq!(r.threads, 2);
             assert!(r.ops > 100, "{}: only {} ops", algo.name(), r.ops);
         }
     }
 
     #[test]
     fn backoff_variants_also_progress() {
+        let pool = pool(2);
         let cfg = HarnessCfg {
-            threads: 2,
             duration: Duration::from_millis(120),
             ..HarnessCfg::default()
         };
         for algo in LockAlgo::ALL {
             let r = run(
+                &pool,
                 algo,
                 BackoffCfg {
                     quantum_cycles: 300,
@@ -161,12 +192,12 @@ mod tests {
 
     #[test]
     fn compare_returns_both_sides() {
+        let pool = pool(2);
         let cfg = HarnessCfg {
-            threads: 2,
             duration: Duration::from_millis(80),
             ..HarnessCfg::default()
         };
-        let (base, educated) = compare(LockAlgo::Ticket, 300, &cfg);
+        let (base, educated) = compare(&pool, LockAlgo::Ticket, 300, &cfg);
         assert!(base.ops_per_sec > 0.0);
         assert!(educated.ops_per_sec > 0.0);
     }

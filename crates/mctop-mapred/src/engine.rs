@@ -1,10 +1,20 @@
 //! The MapReduce engine: split -> map (per-worker partitioned
 //! hash tables) -> reduce (per partition) -> sorted merge.
 //!
-//! Workers are created in the order of an MCTOP-PLACE placement, so the
+//! Workers follow the order of an MCTOP-PLACE placement, so the
 //! high-level policies of Table 2 directly control which hardware
 //! contexts do the work (the paper's replacement for Metis's sequential
-//! pinning).
+//! pinning). Both phases execute on one persistent
+//! [`mctop_runtime::Executor`]: map chunk `w` and reduce batch `w` are
+//! targeted at worker `w` (pinned to placement slot `w`), so a job no
+//! longer spawns two waves of scoped threads. [`run_job_on`] is the
+//! repeated-job path over a caller-owned executor; [`run_job`] arms a
+//! transient one.
+//!
+//! Determinism: chunking, partition hashing, table order (by worker
+//! index) and batch order (by batch index) are all independent of
+//! scheduling, so results are byte-identical for any executor and any
+//! worker count.
 
 use std::collections::HashMap;
 use std::hash::{
@@ -13,6 +23,7 @@ use std::hash::{
 };
 
 use mctop_place::Placement;
+use mctop_runtime::Executor;
 
 /// A MapReduce job: user-provided map and reduce functions.
 pub trait MapReduce: Sync {
@@ -48,29 +59,45 @@ fn partition_of<K: Hash>(key: &K, n: usize) -> usize {
 /// One worker's map output: a hash table per shuffle partition.
 type PartitionedTable<J> = Vec<HashMap<<J as MapReduce>::K, Vec<<J as MapReduce>::V>>>;
 
+/// One reduce batch's output: `(key, out)` pairs, pre-sort.
+type BatchOut<J> = Vec<(<J as MapReduce>::K, <J as MapReduce>::Out)>;
+
 /// Runs a job over `items` with one worker per placement slot; returns
-/// `(key, out)` pairs sorted by key.
+/// `(key, out)` pairs sorted by key. Arms a transient executor over
+/// the placement — callers running many jobs should hold an
+/// [`Executor`] and use [`run_job_on`].
 pub fn run_job<J: MapReduce>(
     job: &J,
     items: &[J::Item],
     placement: &Placement,
     cfg: &EngineCfg,
 ) -> Vec<(J::K, J::Out)> {
-    let workers = placement.capacity().max(1);
+    let exec = Executor::from_placement(placement);
+    run_job_on(&exec, job, items, cfg)
+}
+
+/// Runs a job on a persistent executor: the map phase targets chunk
+/// `w` at worker `w`, the reduce phase targets partition batch `w` at
+/// worker `w` — one executor, no per-call thread spawning.
+pub fn run_job_on<J: MapReduce>(
+    exec: &Executor,
+    job: &J,
+    items: &[J::Item],
+    cfg: &EngineCfg,
+) -> Vec<(J::K, J::Out)> {
+    let workers = exec.len().max(1);
     let partitions = cfg.partitions.unwrap_or(workers * 4).max(1);
 
     // --- Map phase: one partitioned table per worker -------------------
     let chunk = items.len().div_ceil(workers).max(1);
-    let mut tables: Vec<PartitionedTable<J>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+    let mut tables: Vec<Option<PartitionedTable<J>>> = Vec::with_capacity(workers);
+    tables.resize_with(workers, || None);
+    exec.scope(|s| {
+        for (w, slot) in tables.iter_mut().enumerate() {
             let slice = items
                 .get(w * chunk..((w + 1) * chunk).min(items.len()))
                 .unwrap_or(&[]);
-            handles.push(scope.spawn(move || {
-                // Pin virtually: the placement decided our context; OS
-                // pinning happens when the context exists on the host.
+            s.spawn_on(w, move || {
                 let mut local: Vec<HashMap<J::K, Vec<J::V>>> =
                     (0..partitions).map(|_| HashMap::new()).collect();
                 for item in slice {
@@ -79,32 +106,33 @@ pub fn run_job<J: MapReduce>(
                         local[p].entry(k).or_default().push(v);
                     });
                 }
-                local
-            }));
-        }
-        for h in handles {
-            tables.push(h.join().expect("map worker panicked"));
+                *slot = Some(local);
+            });
         }
     });
 
-    // --- Shuffle: regroup by partition ----------------------------------
+    // --- Shuffle: regroup by partition (worker order) -------------------
     let mut per_partition: Vec<PartitionedTable<J>> = (0..partitions).map(|_| Vec::new()).collect();
     for worker_tables in tables {
+        let worker_tables = worker_tables.expect("map worker wrote its table");
         for (p, table) in worker_tables.into_iter().enumerate() {
             per_partition[p].push(table);
         }
     }
 
-    // --- Reduce phase: partitions distributed over the same workers ----
-    let mut results: Vec<Vec<(J::K, J::Out)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let per_worker = per_partition.len().div_ceil(workers).max(1);
-        let mut rest = per_partition;
-        while !rest.is_empty() {
-            let take = per_worker.min(rest.len());
-            let batch: Vec<_> = rest.drain(..take).collect();
-            handles.push(scope.spawn(move || {
+    // --- Reduce phase: partition batches targeted at the same workers --
+    let per_worker = per_partition.len().div_ceil(workers).max(1);
+    let mut batches: Vec<Vec<PartitionedTable<J>>> = Vec::new();
+    let mut rest = per_partition;
+    while !rest.is_empty() {
+        let take = per_worker.min(rest.len());
+        batches.push(rest.drain(..take).collect());
+    }
+    let mut results: Vec<Option<BatchOut<J>>> = Vec::with_capacity(batches.len());
+    results.resize_with(batches.len(), || None);
+    exec.scope(|s| {
+        for ((w, slot), batch) in results.iter_mut().enumerate().zip(batches) {
+            s.spawn_on(w, move || {
                 let mut out = Vec::new();
                 for tables in batch {
                     // Merge the workers' tables for this partition.
@@ -119,16 +147,16 @@ pub fn run_job<J: MapReduce>(
                         out.push((k, o));
                     }
                 }
-                out
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("reduce worker panicked"));
+                *slot = Some(out);
+            });
         }
     });
 
     // --- Final merge: sort by key ---------------------------------------
-    let mut out: Vec<(J::K, J::Out)> = results.into_iter().flatten().collect();
+    let mut out: Vec<(J::K, J::Out)> = results
+        .into_iter()
+        .flat_map(|r| r.expect("reduce worker wrote its batch"))
+        .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
 }
@@ -192,6 +220,18 @@ mod tests {
         assert!(out.is_empty());
         let out = run_job(&Counter, &[5], &place, &EngineCfg::default());
         assert_eq!(out, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn persistent_executor_matches_transient_runs() {
+        let items: Vec<u32> = (0..8000).collect();
+        let place = placement(4);
+        let reference = run_job(&Counter, &items, &place, &EngineCfg::default());
+        let exec = Executor::from_placement(&place);
+        for _ in 0..3 {
+            let out = run_job_on(&exec, &Counter, &items, &EngineCfg::default());
+            assert_eq!(out, reference);
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod workloads;
 
 pub use engine::{
     run_job,
+    run_job_on,
     EngineCfg,
     MapReduce, //
 };

@@ -234,6 +234,14 @@ impl Placement {
         self.order.len()
     }
 
+    /// The per-slot pin data (what [`Placement::pin`] would hand out
+    /// for each slot), without claiming any slot. Long-lived runtimes
+    /// — the persistent executor in `mctop-runtime` — read their
+    /// workers' locations from here once at arm time.
+    pub fn slots(&self) -> &[PinHandle] {
+        &self.handles
+    }
+
     /// Claims the next available context ("pinning a thread to the next
     /// available context of a MCTOP-PLACE object"). Thread-safe.
     pub fn pin(&self) -> Option<PinHandle> {

@@ -1,0 +1,930 @@
+//! The persistent topology-aware fork-join executor.
+//!
+//! MCTOP's thesis is that one topology abstraction should drive every
+//! policy — yet for a long time each parallel workload in this
+//! repository (sort, MapReduce, OpenMP regions, the alloc first-touch
+//! path) opened its own `std::thread::scope`, re-pinned workers and
+//! tore everything down again per call. [`Executor`] consolidates
+//! them: workers are spawned **once**, pinned to the slots of an
+//! [`mctop_place::Placement`], and kept alive across calls; work
+//! arrives through per-socket [`Injector`]s and flows into per-worker
+//! deques, with idle workers stealing in the `TopoView` min-latency
+//! victim order of [`crate::steal`].
+//!
+//! # Lifecycle
+//!
+//! `arm` (construction) → any number of [`Executor::scope`] /
+//! [`Executor::run_each`] calls → [`Executor::rearm`] on placement
+//! change (graceful: outstanding tasks drain first) →
+//! [`Executor::shutdown`] (also run on drop).
+//!
+//! # Scheduling
+//!
+//! Each worker looks for work in this order:
+//!
+//! 1. its **mailbox** — targeted tasks from [`Scope::spawn_on`] /
+//!    [`Executor::run_each`]; never stolen by anyone else (this is
+//!    what first-touch allocation and per-worker arenas rely on);
+//! 2. its **local deque**, then the other workers' deques in the
+//!    min-latency victim order ([`crate::steal::StealPool::next`]);
+//! 3. its own socket's injector — drained in batches
+//!    (`steal_batch_and_pop`), so surplus tasks land in the local
+//!    deque where neighbours can steal them — then the remaining
+//!    sockets' injectors, closest first.
+//!
+//! # Determinism contract
+//!
+//! The executor never decides *what* a task computes, only *where* it
+//! runs. Every consumer in this workspace writes results into
+//! caller-owned slots that are combined in program order, so outputs
+//! are byte-identical for any worker count and any steal schedule
+//! (`tests/executor_equivalence.rs` enforces this).
+//!
+//! # Restrictions
+//!
+//! Tasks must not open a nested [`Executor::scope`] on the same
+//! executor: with every worker busy, the inner scope could wait on
+//! tasks that no one is left to run. Flatten phases into one scope
+//! instead (see `mctop-sort` for the pattern).
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{
+    catch_unwind,
+    resume_unwind,
+    AssertUnwindSafe, //
+};
+use std::sync::atomic::{
+    AtomicBool,
+    AtomicUsize,
+    Ordering, //
+};
+use std::sync::{
+    Arc,
+    Condvar,
+    Mutex, //
+};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_deque::{
+    Injector,
+    Steal, //
+};
+use mctop::view::TopoView;
+use mctop_place::{
+    PinHandle,
+    Placement, //
+};
+
+use crate::host;
+use crate::steal::{
+    steal_queues_with_order,
+    steal_queues_with_view,
+    StealOrder,
+    StealPool, //
+};
+
+/// What a worker knows about itself inside a task.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerCtx {
+    /// Worker index (0-based, dense).
+    pub id: usize,
+    /// Total workers in this executor.
+    pub n_workers: usize,
+    /// The placement slot this worker occupies.
+    pub pin: PinHandle,
+}
+
+impl WorkerCtx {
+    /// The worker's hardware context OS id.
+    pub fn hwc(&self) -> usize {
+        self.pin.hwc
+    }
+
+    /// The worker's socket.
+    pub fn socket(&self) -> usize {
+        self.pin.socket
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCfg {
+    /// Workers to arm (default: one per placement slot).
+    pub workers: Option<usize>,
+    /// Whether workers may bind to real host CPUs (still gated on the
+    /// placement's policy actually pinning and the context existing on
+    /// the host).
+    pub os_pin: bool,
+}
+
+impl Default for ExecCfg {
+    fn default() -> Self {
+        ExecCfg {
+            workers: None,
+            os_pin: true,
+        }
+    }
+}
+
+/// A queued unit of work. Scopes erase the borrow lifetime on the way
+/// in; `Executor::scope` waiting for completion is what makes that
+/// sound.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's private parking spot: pushes bump the epoch (the
+/// worker re-checks it before sleeping, which makes the park/notify
+/// handshake lost-wakeup-free) and only wake *this* worker — a
+/// targeted push never causes a thundering herd across the team.
+struct WorkerSleep {
+    state: Mutex<WorkerSleepState>,
+    cv: Condvar,
+}
+
+struct WorkerSleepState {
+    epoch: u64,
+    parked: bool,
+}
+
+impl WorkerSleep {
+    fn new() -> Self {
+        WorkerSleep {
+            state: Mutex::new(WorkerSleepState {
+                epoch: 0,
+                parked: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Shared {
+    ctxs: Vec<WorkerCtx>,
+    /// One targeted queue per worker; only its owner pops.
+    mailboxes: Vec<Injector<Task>>,
+    /// One shared injector per socket used by the placement.
+    injectors: Vec<Injector<Task>>,
+    /// For each worker, the injector scan order: own socket first,
+    /// then the others by min communication latency.
+    injector_order: Vec<Vec<usize>>,
+    /// Round-robin cursor distributing untargeted spawns over sockets.
+    next_injector: AtomicUsize,
+    /// Round-robin cursor choosing which worker a stealable push wakes.
+    next_wake: AtomicUsize,
+    sleeps: Vec<WorkerSleep>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Bumps one worker's epoch and wakes it if parked. After a bump,
+    /// that worker is guaranteed to run a fresh queue scan before it
+    /// can park (or park again), which is what makes a single wake
+    /// sufficient for liveness.
+    fn bump(&self, worker: usize) {
+        {
+            let mut g = self.sleeps[worker]
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            g.epoch = g.epoch.wrapping_add(1);
+        }
+        self.sleeps[worker].cv.notify_all();
+    }
+
+    fn push_stealable(&self, task: Task) {
+        let i = self.next_injector.fetch_add(1, Ordering::Relaxed) % self.injectors.len();
+        self.injectors[i].push(task);
+        // Wake one parked worker if there is one (lowest latency to
+        // pick the task up); otherwise bump a round-robin victim — it
+        // is busy or mid-scan and will rescan before parking, so the
+        // task cannot be stranded.
+        let n = self.sleeps.len();
+        let start = self.next_wake.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let w = (start + k) % n;
+            let parked = {
+                self.sleeps[w]
+                    .state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .parked
+            };
+            if parked {
+                self.bump(w);
+                return;
+            }
+        }
+        self.bump(start % n);
+    }
+
+    fn push_targeted(&self, worker: usize, task: Task) {
+        self.mailboxes[worker].push(task);
+        self.bump(worker);
+    }
+}
+
+/// Drains one task from an injector, absorbing `Retry`.
+fn injector_take(injector: &Injector<Task>) -> Option<Task> {
+    loop {
+        match injector.steal() {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// One worker's search for work, in mailbox → deques → injectors order.
+fn next_task(shared: &Shared, idx: usize, queue: &StealPool<Task>) -> Option<Task> {
+    if let Some(task) = injector_take(&shared.mailboxes[idx]) {
+        return Some(task);
+    }
+    if let Some((task, _src)) = queue.next() {
+        return Some(task);
+    }
+    for (rank, &i) in shared.injector_order[idx].iter().enumerate() {
+        let injector = &shared.injectors[i];
+        // Batch from the home socket (surplus lands in our deque, where
+        // neighbours steal it latency-first); single steals elsewhere.
+        let got = if rank == 0 {
+            queue.steal_batch_from(injector)
+        } else {
+            injector_take(injector)
+        };
+        if got.is_some() {
+            return got;
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize, queue: StealPool<Task>, pin: Option<usize>) {
+    if let Some(hwc) = pin {
+        let _ = host::pin_if_host(hwc);
+    }
+    let my = &shared.sleeps[idx];
+    loop {
+        let epoch = { my.state.lock().unwrap_or_else(|e| e.into_inner()).epoch };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Graceful exit: drain everything already queued first.
+            while let Some(task) = next_task(&shared, idx, &queue) {
+                task();
+            }
+            break;
+        }
+        let mut ran = false;
+        while let Some(task) = next_task(&shared, idx, &queue) {
+            task();
+            ran = true;
+        }
+        if ran {
+            continue;
+        }
+        let mut g = my.state.lock().unwrap_or_else(|e| e.into_inner());
+        if g.epoch == epoch && !shared.shutdown.load(Ordering::Acquire) {
+            // Nothing arrived since the scan started; park. Every push
+            // that this worker must see bumps our epoch under this
+            // lock, so a plain wait cannot lose a wakeup — the long
+            // timeout is purely a defensive backstop (an idle team
+            // costs ~2 wakeups/s/worker, not a poll loop).
+            g.parked = true;
+            let (mut g, _timeout) = my
+                .cv
+                .wait_timeout(g, Duration::from_millis(500))
+                .unwrap_or_else(|e| e.into_inner());
+            g.parked = false;
+        }
+    }
+}
+
+/// State of one fork-join scope: a pending-task latch plus the first
+/// captured panic.
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// A fork-join scope over a running [`Executor`]. Closures spawned
+/// here may borrow from the caller's stack; [`Executor::scope`] does
+/// not return before every one of them has finished.
+pub struct Scope<'scope> {
+    shared: &'scope Shared,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope`: prevents the lifetime from being
+    /// shortened under the spawned closures.
+    _invariant: std::marker::PhantomData<std::cell::Cell<&'scope ()>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a stealable task: it enters a socket injector and runs
+    /// on whichever worker gets to it first.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let task = self.wrap(f);
+        self.shared.push_stealable(task);
+    }
+
+    /// Spawns a task targeted at one worker: it goes into that
+    /// worker's mailbox and is never stolen. This is how per-worker
+    /// resources (arenas, first-touch windows, placement-ordered
+    /// chunks) reach the thread pinned where the resource lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn spawn_on<F>(&self, worker: usize, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        assert!(
+            worker < self.shared.ctxs.len(),
+            "spawn_on: worker index out of range"
+        );
+        let task = self.wrap(f);
+        self.shared.push_targeted(worker, task);
+    }
+
+    fn wrap<F>(&self, f: F) -> Task
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = state.done.lock().unwrap_or_else(|e| e.into_inner());
+                state.cv.notify_all();
+            }
+        });
+        // SAFETY: the queues require `'static`, but `Executor::scope`
+        // blocks until `pending` reaches zero before returning, so
+        // every borrow captured by `f` strictly outlives the task.
+        unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(boxed) }
+    }
+}
+
+/// The persistent executor: long-lived placement-pinned workers,
+/// per-socket injectors, per-worker deques, latency-ordered stealing.
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    cfg: ExecCfg,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.shared.ctxs.len())
+            .field("sockets", &self.shared.injectors.len())
+            .field("os_pin", &self.cfg.os_pin)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Arms an executor over a placement, with victim orders computed
+    /// from the topology view's latencies.
+    pub fn new(view: &TopoView, placement: &Placement) -> Executor {
+        Self::with_cfg(Some(view), placement, ExecCfg::default())
+    }
+
+    /// Arms an executor from a placement alone (no view): workers and
+    /// sockets still follow the placement slots, but steal orders fall
+    /// back to worker-index order.
+    pub fn from_placement(placement: &Placement) -> Executor {
+        Self::with_cfg(None, placement, ExecCfg::default())
+    }
+
+    /// Arms an executor with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero or exceeds the placement
+    /// capacity.
+    pub fn with_cfg(view: Option<&TopoView>, placement: &Placement, cfg: ExecCfg) -> Executor {
+        let capacity = placement.capacity();
+        let n = cfg.workers.unwrap_or(capacity);
+        assert!(n > 0 && n <= capacity, "worker count out of range");
+        let slots: Vec<PinHandle> = placement.slots()[..n].to_vec();
+        let hwcs: Vec<usize> = slots.iter().map(|h| h.hwc).collect();
+        let ctxs: Vec<WorkerCtx> = slots
+            .iter()
+            .enumerate()
+            .map(|(id, &pin)| WorkerCtx {
+                id,
+                n_workers: n,
+                pin,
+            })
+            .collect();
+
+        // One injector per socket, in slot-first-use order.
+        let mut socket_ids: Vec<usize> = Vec::new();
+        for h in &slots {
+            if !socket_ids.contains(&h.socket) {
+                socket_ids.push(h.socket);
+            }
+        }
+        let home: Vec<usize> = slots
+            .iter()
+            .map(|h| {
+                socket_ids
+                    .iter()
+                    .position(|&s| s == h.socket)
+                    .expect("socket recorded above")
+            })
+            .collect();
+        let injector_order: Vec<Vec<usize>> = (0..n)
+            .map(|w| {
+                let mut order: Vec<usize> = (0..socket_ids.len()).collect();
+                order.sort_by_key(|&i| {
+                    if i == home[w] {
+                        return (false, 0, i);
+                    }
+                    // Distance to a socket: the closest worker on it.
+                    let lat = match view {
+                        Some(v) => (0..n)
+                            .filter(|&j| home[j] == i)
+                            .map(|j| v.get_latency(hwcs[w], hwcs[j]))
+                            .min()
+                            .unwrap_or(u32::MAX),
+                        None => 0,
+                    };
+                    (true, lat, i)
+                });
+                order
+            })
+            .collect();
+
+        let queues: Vec<StealPool<Task>> = match view {
+            Some(v) => steal_queues_with_view(v, &hwcs),
+            None => steal_queues_with_order(StealOrder::sequential(n)),
+        };
+
+        let shared = Arc::new(Shared {
+            ctxs,
+            mailboxes: (0..n).map(|_| Injector::new()).collect(),
+            injectors: (0..socket_ids.len()).map(|_| Injector::new()).collect(),
+            injector_order,
+            next_injector: AtomicUsize::new(0),
+            next_wake: AtomicUsize::new(0),
+            sleeps: (0..n).map(|_| WorkerSleep::new()).collect(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let os_pin = cfg.os_pin && placement.pins();
+        let threads = queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, queue)| {
+                let shared = Arc::clone(&shared);
+                let pin = os_pin.then_some(hwcs[i]);
+                std::thread::Builder::new()
+                    .name(format!("mctop-exec-{i}"))
+                    .spawn(move || worker_loop(shared, i, queue, pin))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            threads,
+            cfg,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.shared.ctxs.len()
+    }
+
+    /// Whether the executor has no workers (never after arming; kept
+    /// for idiom).
+    pub fn is_empty(&self) -> bool {
+        self.shared.ctxs.is_empty()
+    }
+
+    /// Per-worker contexts, in worker order.
+    pub fn worker_ctxs(&self) -> &[WorkerCtx] {
+        &self.shared.ctxs
+    }
+
+    /// Runs a fork-join scope: `f` may spawn any number of tasks that
+    /// borrow from the caller's stack; the call returns only after all
+    /// of them completed. A task panic is propagated to the caller
+    /// after the remaining tasks finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor was explicitly shut down — there are no
+    /// workers left, so spawned tasks could never run and the scope
+    /// would hang instead.
+    pub fn scope<'scope, R>(&'scope self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        assert!(
+            !self.shared.shutdown.load(Ordering::Acquire),
+            "scope on a shut-down executor"
+        );
+        let state = Arc::new(ScopeState::new());
+        let scope = Scope {
+            shared: &self.shared,
+            state: Arc::clone(&state),
+            _invariant: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait for every spawned task — even when `f` panicked, the
+        // tasks still borrow the caller's stack and must drain first.
+        // The last task notifies `state.cv` under `state.done`, and the
+        // pending re-check below holds that lock, so a plain wait
+        // cannot miss the completion; the timeout is a defensive
+        // backstop only.
+        while state.pending.load(Ordering::Acquire) > 0 {
+            let g = state.done.lock().unwrap_or_else(|e| e.into_inner());
+            if state.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = state
+                .cv
+                .wait_timeout(g, Duration::from_millis(100))
+                .map_err(|e| e.into_inner());
+        }
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(r) => {
+                let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(payload) = slot.take() {
+                    resume_unwind(payload);
+                }
+                r
+            }
+        }
+    }
+
+    /// Runs two closures in parallel and returns both results.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let mut ra = None;
+        let mut rb = None;
+        self.scope(|s| {
+            s.spawn(|| ra = Some(a()));
+            s.spawn(|| rb = Some(b()));
+        });
+        (
+            ra.expect("join arm completed"),
+            rb.expect("join arm completed"),
+        )
+    }
+
+    /// Runs `f` once on every worker (targeted, in parallel) and
+    /// collects the results in worker order.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(WorkerCtx) -> R + Sync,
+        R: Send,
+    {
+        self.run_each(vec![(); self.len()], |ctx, ()| f(ctx))
+    }
+
+    /// Like [`Executor::run`], but moves one owned input into each
+    /// worker: `inputs[i]` is processed by worker `i` on the thread
+    /// pinned to placement slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the worker count.
+    pub fn run_each<T, F, R>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        F: Fn(WorkerCtx, T) -> R + Sync,
+        R: Send,
+    {
+        let n = self.len();
+        assert_eq!(inputs.len(), n, "one input per worker required");
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        self.scope(|s| {
+            for ((w, slot), input) in results.iter_mut().enumerate().zip(inputs) {
+                let f = &f;
+                let ctx = self.shared.ctxs[w];
+                s.spawn_on(w, move || {
+                    *slot = Some(f(ctx, input));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker wrote its slot"))
+            .collect()
+    }
+
+    /// Gracefully re-arms the executor over a new placement (e.g.
+    /// after an OpenMP binding-policy switch): outstanding tasks
+    /// drain, the old workers exit, and a fresh set is pinned to the
+    /// new placement's slots. The original `ExecCfg` is kept.
+    pub fn rearm(&mut self, view: Option<&TopoView>, placement: &Placement) {
+        let cfg = self.cfg;
+        self.shutdown();
+        *self = Executor::with_cfg(view, placement, cfg);
+    }
+
+    /// Graceful shutdown: workers finish everything already queued,
+    /// then exit and are joined. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for w in 0..self.shared.sleeps.len() {
+            self.shared.bump(w);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctop_place::{
+        PlaceOpts,
+        Policy, //
+    };
+    use std::sync::atomic::AtomicU64;
+
+    fn view() -> Arc<TopoView> {
+        let spec = mcsim::presets::synthetic_small();
+        let mut p = mctop::backend::SimProber::noiseless(&spec);
+        let cfg = mctop::ProbeConfig {
+            reps: 3,
+            ..mctop::ProbeConfig::fast()
+        };
+        let topo = mctop::infer(&mut p, &cfg).unwrap();
+        Arc::new(TopoView::new(Arc::new(topo)))
+    }
+
+    fn executor(threads: usize, policy: Policy) -> (Executor, Arc<TopoView>) {
+        let v = view();
+        let placement = Placement::with_view(&v, policy, PlaceOpts::threads(threads)).unwrap();
+        let exec = Executor::with_cfg(
+            Some(&v),
+            &placement,
+            ExecCfg {
+                workers: None,
+                os_pin: false,
+            },
+        );
+        (exec, v)
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        let (exec, _v) = executor(4, Policy::RrCore);
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        exec.scope(|s| {
+            for h in &hits {
+                s.spawn(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scope_tasks_borrow_the_stack() {
+        let (exec, _v) = executor(2, Policy::ConHwc);
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        exec.scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move || *slot = x * 10);
+            }
+        });
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn spawn_on_runs_on_the_right_worker() {
+        let (exec, _v) = executor(4, Policy::RrCore);
+        for _round in 0..3 {
+            let mut seen = vec![usize::MAX; 4];
+            let names: Vec<Option<String>> = {
+                let mut names = vec![None; 4];
+                exec.scope(|s| {
+                    for (w, (slot, name)) in seen.iter_mut().zip(names.iter_mut()).enumerate() {
+                        s.spawn_on(w, move || {
+                            *slot = w;
+                            *name = std::thread::current().name().map(str::to_owned);
+                        });
+                    }
+                });
+                names
+            };
+            assert_eq!(seen, vec![0, 1, 2, 3]);
+            for (w, name) in names.iter().enumerate() {
+                assert_eq!(
+                    name.as_deref(),
+                    Some(format!("mctop-exec-{w}").as_str()),
+                    "targeted task ran on the wrong thread"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_each_moves_inputs_and_keeps_order() {
+        let (exec, _v) = executor(4, Policy::ConHwc);
+        let inputs: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; i + 1]).collect();
+        let out = exec.run_each(inputs, |ctx, v| {
+            assert_eq!(v.len(), ctx.id + 1);
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![0, 2, 6, 12]);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (exec, _v) = executor(2, Policy::RrCore);
+        let (a, b) = exec.join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn single_worker_executor_completes_fanout() {
+        let (exec, _v) = executor(1, Policy::ConHwc);
+        let total = AtomicU64::new(0);
+        exec.scope(|s| {
+            for i in 0..50u64 {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 49 * 50 / 2);
+    }
+
+    #[test]
+    fn workers_see_placement_slots() {
+        let v = view();
+        let placement = Placement::with_view(&v, Policy::RrCore, PlaceOpts::threads(4)).unwrap();
+        let expected: Vec<usize> = placement.order().to_vec();
+        let exec = Executor::with_cfg(
+            Some(&v),
+            &placement,
+            ExecCfg {
+                workers: None,
+                os_pin: false,
+            },
+        );
+        let hwcs = exec.run(|ctx| ctx.hwc());
+        assert_eq!(hwcs, expected);
+    }
+
+    #[test]
+    fn executor_is_reusable_across_scopes() {
+        let (exec, _v) = executor(3, Policy::BalanceHwc);
+        for round in 0..10 {
+            let out = exec.run(|ctx| ctx.n_workers + round);
+            assert_eq!(out, vec![3 + round; 3]);
+        }
+    }
+
+    #[test]
+    fn rearm_switches_placement() {
+        let v = view();
+        let con = Placement::with_view(&v, Policy::ConHwc, PlaceOpts::threads(4)).unwrap();
+        let rr = Placement::with_view(&v, Policy::RrCore, PlaceOpts::threads(4)).unwrap();
+        let mut exec = Executor::with_cfg(
+            Some(&v),
+            &con,
+            ExecCfg {
+                workers: None,
+                os_pin: false,
+            },
+        );
+        assert_eq!(exec.run(|c| c.hwc()), con.order().to_vec());
+        exec.rearm(Some(&v), &rr);
+        assert_eq!(exec.run(|c| c.hwc()), rr.order().to_vec());
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let (mut exec, _v) = executor(2, Policy::ConHwc);
+        let out = exec.run(|ctx| ctx.id);
+        assert_eq!(out, vec![0, 1]);
+        exec.shutdown();
+        exec.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "scope on a shut-down executor")]
+    fn scope_after_shutdown_fails_fast() {
+        let (mut exec, _v) = executor(2, Policy::ConHwc);
+        exec.shutdown();
+        // No workers are left; hanging forever would be the only other
+        // outcome.
+        let _ = exec.run(|ctx| ctx.id);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let (exec, _v) = executor(2, Policy::ConHwc);
+        let done = AtomicU64::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            exec.scope(|s| {
+                for i in 0..10 {
+                    let done = &done;
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // All non-panicking siblings still ran.
+        assert_eq!(done.into_inner(), 9);
+        // And the executor survives for the next scope.
+        assert_eq!(exec.run(|c| c.id), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count out of range")]
+    fn oversized_executor_rejected() {
+        let v = view();
+        let placement = Placement::with_view(&v, Policy::ConHwc, PlaceOpts::threads(2)).unwrap();
+        let _ = Executor::with_cfg(
+            Some(&v),
+            &placement,
+            ExecCfg {
+                workers: Some(3),
+                os_pin: false,
+            },
+        );
+    }
+
+    #[test]
+    fn from_placement_without_view_works() {
+        let v = view();
+        let placement = Placement::with_view(&v, Policy::RrCore, PlaceOpts::threads(4)).unwrap();
+        let exec = Executor::from_placement(&placement);
+        let ids = exec.run(|ctx| ctx.id);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stealable_work_is_shared_under_contention() {
+        // One slow task must not serialize the rest: with 4 workers,
+        // 40 tasks of mixed cost finish even though they all enter
+        // through the injectors.
+        let (exec, _v) = executor(4, Policy::RrCore);
+        let done = AtomicU64::new(0);
+        exec.scope(|s| {
+            for i in 0..40u64 {
+                let done = &done;
+                s.spawn(move || {
+                    let mut x = i | 1;
+                    let reps = if i == 0 { 200_000 } else { 200 };
+                    for j in 0..reps {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(j);
+                    }
+                    std::hint::black_box(x);
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.into_inner(), 40);
+    }
+}

@@ -1,29 +1,44 @@
 //! # mctop-runtime — placement-aware parallel runtime substrate
 //!
 //! The application studies of the MCTOP paper (mergesort, MapReduce,
-//! the extended OpenMP runtime) all need the same three building
-//! blocks, provided here:
+//! the extended OpenMP runtime) all need the same building blocks,
+//! provided here:
 //!
-//! - [`pool::WorkerPool`]: a fork-join pool whose workers are assigned
-//!   hardware contexts by an [`mctop_place::Placement`] (and optionally
-//!   pinned to the real OS CPUs when the context ids exist on the host);
+//! - [`executor::Executor`]: the **persistent** topology-aware
+//!   fork-join executor — long-lived workers pinned per
+//!   [`mctop_place::Placement`], per-socket injectors, per-worker
+//!   deques, idle workers stealing in the min-latency victim order,
+//!   a `scope`/`join` API plus targeted per-worker dispatch, and
+//!   graceful shutdown/re-arm on placement change. Every parallel
+//!   workload in this workspace runs on it;
+//! - [`pool::WorkerPool`]: the `run`/`run_each` facade over the
+//!   executor (kept for the per-worker arena hand-off API of
+//!   `mctop-alloc`);
 //! - [`barrier::SpinBarrier`]: the spin-based barrier the paper's
 //!   measurement threads use (no blocking, keeps DVFS at max);
 //! - [`steal`]: topology-aware work stealing (Section 5): idle workers
 //!   steal from the victim that is closest in communication latency
-//!   first.
+//!   first;
+//! - [`host`]: the shared host-CPU clamp (bind only when the context
+//!   exists on the host).
 
 pub mod barrier;
+pub mod executor;
+pub mod host;
 pub mod pool;
 pub mod steal;
 
 pub use barrier::SpinBarrier;
-pub use pool::{
-    WorkerCtx,
-    WorkerPool, //
+pub use executor::{
+    ExecCfg,
+    Executor,
+    Scope,
+    WorkerCtx, //
 };
+pub use pool::WorkerPool;
 pub use steal::{
     steal_queues,
+    steal_queues_with_order,
     steal_queues_with_view,
     StealOrder,
     StealPool, //

@@ -5,50 +5,40 @@
 //! threads "have access to"), and — when the context id exists on the
 //! host and the placement policy pins — the worker thread is bound to
 //! that CPU with `sched_setaffinity`.
+//!
+//! Since the executor refactor, `WorkerPool` is a thin facade over the
+//! persistent [`crate::executor::Executor`]: the first `run`/`run_each`
+//! arms long-lived pinned workers, and every later call dispatches to
+//! them instead of spawning a fresh `std::thread::scope`. The API (and
+//! its determinism: results in worker order, `inputs[i]` to worker
+//! `i`) is unchanged.
 
-use std::sync::Arc;
-
-use mctop_place::{
-    pin_os_thread,
-    PinHandle,
-    Placement, //
+use std::sync::{
+    Arc,
+    OnceLock, //
 };
 
-/// What a worker knows about itself inside [`WorkerPool::run`].
-#[derive(Debug, Clone, Copy)]
-pub struct WorkerCtx {
-    /// Worker index (0-based, dense).
-    pub id: usize,
-    /// Total workers in this pool.
-    pub n_workers: usize,
-    /// The placement slot this worker occupies.
-    pub pin: PinHandle,
-}
+use mctop_place::Placement;
 
-impl WorkerCtx {
-    /// The worker's hardware context OS id.
-    pub fn hwc(&self) -> usize {
-        self.pin.hwc
-    }
+use crate::executor::{
+    ExecCfg,
+    Executor, //
+};
 
-    /// The worker's socket.
-    pub fn socket(&self) -> usize {
-        self.pin.socket
-    }
-}
+pub use crate::executor::WorkerCtx;
 
 /// A placement-backed fork-join pool.
 ///
-/// `run` spawns one scoped thread per placement slot, each virtually
-/// pinned to its hardware context (and OS-pinned when possible), and
-/// returns all results in worker order. Spawning per call keeps the
-/// pool safe for borrowed closures; the workloads in this repository
-/// run long enough that spawn cost is noise.
+/// `run` executes one task per placement slot on the pool's persistent
+/// executor workers (each virtually pinned to its hardware context,
+/// and OS-pinned when possible) and returns all results in worker
+/// order. Clones share the same executor.
 #[derive(Debug, Clone)]
 pub struct WorkerPool {
     placement: Arc<Placement>,
     n_workers: usize,
     os_pin: bool,
+    exec: Arc<OnceLock<Executor>>,
 }
 
 impl WorkerPool {
@@ -59,6 +49,7 @@ impl WorkerPool {
             placement,
             n_workers: n,
             os_pin: true,
+            exec: Arc::new(OnceLock::new()),
         }
     }
 
@@ -76,6 +67,7 @@ impl WorkerPool {
             placement,
             n_workers: n,
             os_pin: true,
+            exec: Arc::new(OnceLock::new()),
         }
     }
 
@@ -83,6 +75,9 @@ impl WorkerPool {
     /// the simulated machine has more contexts than the host.
     pub fn without_os_pinning(mut self) -> Self {
         self.os_pin = false;
+        // Any already-armed executor was pinned; detach from it (its
+        // workers shut down when the last clone drops).
+        self.exec = Arc::new(OnceLock::new());
         self
     }
 
@@ -99,6 +94,22 @@ impl WorkerPool {
     /// The placement backing this pool.
     pub fn placement(&self) -> &Arc<Placement> {
         &self.placement
+    }
+
+    /// The persistent executor behind this pool, armed on first use.
+    /// Workload crates that want the full `scope`/`spawn` API (instead
+    /// of the `run`/`run_each` facade) reach it here.
+    pub fn executor(&self) -> &Executor {
+        self.exec.get_or_init(|| {
+            Executor::with_cfg(
+                None,
+                &self.placement,
+                ExecCfg {
+                    workers: Some(self.n_workers),
+                    os_pin: self.os_pin,
+                },
+            )
+        })
     }
 
     /// Runs `f` on every worker and collects the results in worker
@@ -131,57 +142,7 @@ impl WorkerPool {
             self.n_workers,
             "one input per worker required"
         );
-        let handles: Vec<PinHandle> = (0..self.n_workers)
-            .map(|_| {
-                self.placement
-                    .pin()
-                    .expect("pool sized to placement capacity")
-            })
-            .collect();
-        let n = self.n_workers;
-        let os_pin = self.os_pin && self.placement.pins();
-        let host_cpus = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            let mut join = Vec::with_capacity(n);
-            for (id, ((pin, slot), input)) in handles
-                .iter()
-                .zip(results.iter_mut())
-                .zip(inputs)
-                .enumerate()
-            {
-                let f = &f;
-                let pin = *pin;
-                join.push(scope.spawn(move || {
-                    // OS pinning is best-effort: simulated machines can
-                    // have more contexts than the host has CPUs.
-                    if os_pin && pin.hwc < host_cpus {
-                        let _ = pin_os_thread(pin.hwc);
-                    }
-                    *slot = Some(f(
-                        WorkerCtx {
-                            id,
-                            n_workers: n,
-                            pin,
-                        },
-                        input,
-                    ));
-                }));
-            }
-            for j in join {
-                j.join().expect("worker panicked");
-            }
-        });
-        for pin in handles {
-            self.placement.unpin(pin);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("worker wrote its slot"))
-            .collect()
+        self.executor().run_each(inputs, f)
     }
 }
 
@@ -233,9 +194,20 @@ mod tests {
             let out = pool.run(|ctx| ctx.n_workers);
             assert_eq!(out, vec![2, 2]);
         }
-        // All slots free afterwards.
+        // The executor reads slot data without claiming, so the
+        // placement's pin/unpin slots stay free for other users.
         let h = p.pin().unwrap();
         p.unpin(h);
+    }
+
+    #[test]
+    fn clones_share_one_executor() {
+        let pool = WorkerPool::new(placement(2, Policy::ConHwc)).without_os_pinning();
+        let a: *const Executor = pool.executor();
+        let clone = pool.clone();
+        let b: *const Executor = clone.executor();
+        assert_eq!(a, b);
+        assert_eq!(clone.run(|c| c.id), vec![0, 1]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! handle is moved into its worker thread — that follow them.
 
 use crossbeam_deque::{
+    Injector,
     Steal,
     Stealer,
     Worker as Deque, //
@@ -33,6 +34,17 @@ impl StealOrder {
     /// (what placement-backed pools already hold).
     pub fn with_view(view: &TopoView, hwcs: &[usize]) -> Self {
         Self::orders_from(|a, b| view.get_latency(a, b), hwcs)
+    }
+
+    /// A victim order that ignores the topology: every worker tries
+    /// the other workers in ascending index order. The fallback when
+    /// only a [`mctop_place::Placement`] (no view) is available.
+    pub fn sequential(n: usize) -> Self {
+        StealOrder {
+            orders: (0..n)
+                .map(|i| (0..n).filter(|&j| j != i).collect())
+                .collect(),
+        }
     }
 
     fn orders_from(latency: impl Fn(usize, usize) -> u32, hwcs: &[usize]) -> Self {
@@ -94,6 +106,21 @@ impl<T> StealPool<T> {
         self.local.push(item);
     }
 
+    /// Moves a batch of tasks from a shared [`Injector`] into the
+    /// local deque and returns one of them (crossbeam's
+    /// `steal_batch_and_pop` hand-off): the executor's workers drain
+    /// their socket injector this way, so surplus tasks land in a
+    /// deque that other workers can then steal from in latency order.
+    pub fn steal_batch_from(&self, injector: &Injector<T>) -> Option<T> {
+        loop {
+            match injector.steal_batch_and_pop(&self.local) {
+                Steal::Success(item) => return Some(item),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
     /// Next work item: the local queue first, then the victims in
     /// latency order.
     pub fn next(&self) -> Option<(T, Source)> {
@@ -116,16 +143,19 @@ impl<T> StealPool<T> {
 /// Builds one [`StealPool`] handle per worker, with victim orders from
 /// the topology.
 pub fn steal_queues<T>(topo: &Mctop, hwcs: &[usize]) -> Vec<StealPool<T>> {
-    queues_with_order(StealOrder::compute(topo, hwcs), hwcs)
+    steal_queues_with_order(StealOrder::compute(topo, hwcs))
 }
 
 /// Like [`steal_queues`], over a prebuilt topology view.
 pub fn steal_queues_with_view<T>(view: &TopoView, hwcs: &[usize]) -> Vec<StealPool<T>> {
-    queues_with_order(StealOrder::with_view(view, hwcs), hwcs)
+    steal_queues_with_order(StealOrder::with_view(view, hwcs))
 }
 
-fn queues_with_order<T>(order: StealOrder, hwcs: &[usize]) -> Vec<StealPool<T>> {
-    let deques: Vec<Deque<T>> = hwcs.iter().map(|_| Deque::new_fifo()).collect();
+/// Builds one [`StealPool`] handle per worker from an explicit victim
+/// order (one per worker in `order`).
+pub fn steal_queues_with_order<T>(order: StealOrder) -> Vec<StealPool<T>> {
+    let n = order.len();
+    let deques: Vec<Deque<T>> = (0..n).map(|_| Deque::new_fifo()).collect();
     let stealers: Vec<Stealer<T>> = deques.iter().map(|d| d.stealer()).collect();
     deques
         .into_iter()

@@ -70,27 +70,54 @@ pub fn split_merge<T: Ord + Copy>(
         .collect()
 }
 
-/// Merges two sorted runs into `out` using `k` real threads, each
-/// merging an independent merge-path segment.
-pub fn parallel_merge<T: Ord + Copy + Send + Sync>(a: &[T], b: &[T], out: &mut [T], k: usize) {
-    assert_eq!(out.len(), a.len() + b.len());
+/// One independent slice of a cooperative merge: two sorted inputs
+/// and the disjoint output window they merge into.
+pub type MergeJob<'a, T> = (&'a [T], &'a [T], &'a mut [T]);
+
+/// Splits the merge of `a` and `b` into at most `k` independent jobs
+/// over disjoint windows of `out`. Small merges (or `k <= 1`) come
+/// back as a single job. The split depends only on the data and `k` —
+/// never on who executes the jobs — so any schedule produces the same
+/// bytes.
+pub fn merge_jobs<'a, T: Ord + Copy>(
+    a: &'a [T],
+    b: &'a [T],
+    out: &'a mut [T],
+    k: usize,
+) -> Vec<MergeJob<'a, T>> {
+    assert_eq!(out.len(), a.len() + b.len(), "output size mismatch");
     if k <= 1 || out.len() < 4096 {
-        merge_into(a, b, out);
-        return;
+        return vec![(a, b, out)];
     }
     let segments = split_merge(a, b, k);
     // Carve `out` into disjoint mutable windows matching the segments.
+    let mut jobs = Vec::with_capacity(segments.len());
     let mut rest = out;
     let mut taken = 0usize;
+    for (ra, rb, off) in segments {
+        let len = (ra.end - ra.start) + (rb.end - rb.start);
+        let (window, tail) = rest.split_at_mut(off - taken + len);
+        let window = &mut window[off - taken..];
+        taken = off + len;
+        rest = tail;
+        jobs.push((&a[ra], &b[rb], window));
+    }
+    jobs
+}
+
+/// Merges two sorted runs into `out` using `k` real threads, each
+/// merging an independent merge-path segment. (The topology-agnostic
+/// baseline path; `mctop_sort` submits [`merge_jobs`] to the
+/// persistent executor instead.)
+pub fn parallel_merge<T: Ord + Copy + Send + Sync>(a: &[T], b: &[T], out: &mut [T], k: usize) {
+    let mut jobs = merge_jobs(a, b, out, k);
+    if jobs.len() == 1 {
+        let (sa, sb, window) = jobs.pop().expect("one job");
+        merge_into(sa, sb, window);
+        return;
+    }
     std::thread::scope(|scope| {
-        for (ra, rb, off) in segments {
-            let len = (ra.end - ra.start) + (rb.end - rb.start);
-            let (window, tail) = rest.split_at_mut(off - taken + len);
-            let window = &mut window[off - taken..];
-            taken = off + len;
-            rest = tail;
-            let sa = &a[ra];
-            let sb = &b[rb];
+        for (sa, sb, window) in jobs {
             scope.spawn(move || merge_into(sa, sb, window));
         }
     });

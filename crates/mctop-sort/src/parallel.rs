@@ -3,6 +3,23 @@
 //! `__gnu_parallel::sort`). All three run on real host threads; the
 //! per-platform performance claims of Fig. 9 come from
 //! [`crate::model`] over the simulated machines.
+//!
+//! Every phase of `mctop_sort` executes on the persistent
+//! [`mctop_runtime::Executor`]: chunk quicksorts, per-socket merge
+//! rounds, and the cross-socket tree merges are all submitted as
+//! tasks to placement-pinned workers instead of spawning fresh
+//! scoped threads per phase. The repeated-sort path is
+//! [`mctop_sort_on`], which reuses a caller-owned executor; the
+//! convenience entry points arm a transient one per call.
+//!
+//! Determinism: chunk boundaries, socket assignment and every
+//! merge-path split depend only on the data, the worker count and the
+//! placement — never on which worker executes a task — so the sorted
+//! output is byte-identical across executors, worker counts and steal
+//! schedules.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mctop::view::TopoView;
 use mctop::Mctop;
@@ -11,9 +28,14 @@ use mctop_place::{
     Placement,
     Policy, //
 };
+use mctop_runtime::{
+    ExecCfg,
+    Executor, //
+};
 
 use crate::merge::{
     merge_into,
+    merge_jobs,
     parallel_merge, //
 };
 use crate::seq::quicksort;
@@ -26,6 +48,9 @@ enum Kernel {
     Bitonic,
 }
 
+/// One tagged merge segment: `(use_bitonic, a, b, out_window)`.
+type TaggedJob<'a> = (bool, &'a [u32], &'a [u32], &'a mut [u32]);
+
 /// Sorts `data` with the topology-aware mergesort of Section 7.2:
 /// chunks are quicksorted in parallel (threads spread with the RR
 /// policy to benefit from every socket's LLC), per-socket runs are
@@ -36,7 +61,7 @@ pub fn mctop_sort(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest: usi
     if data.len() < 2 {
         return;
     }
-    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
+    let view = TopoView::new(Arc::new(topo.clone()));
     sort_impl(data, &view, n_threads, dest, Kernel::Scalar);
 }
 
@@ -46,12 +71,13 @@ pub fn mctop_sort_sse(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest:
     if data.len() < 2 {
         return;
     }
-    let view = TopoView::new(std::sync::Arc::new(topo.clone()));
+    let view = TopoView::new(Arc::new(topo.clone()));
     sort_impl(data, &view, n_threads, dest, Kernel::Bitonic);
 }
 
-/// [`mctop_sort`] over a prebuilt topology view — the repeated-sort
-/// path (no per-call topology clone or view construction).
+/// [`mctop_sort`] over a prebuilt topology view — no per-call topology
+/// clone or view construction (a transient executor is still armed;
+/// the fully persistent path is [`mctop_sort_on`]).
 pub fn mctop_sort_with_view(data: &mut Vec<u32>, view: &TopoView, n_threads: usize, dest: usize) {
     sort_impl(data, view, n_threads, dest, Kernel::Scalar);
 }
@@ -66,57 +92,122 @@ pub fn mctop_sort_sse_with_view(
     sort_impl(data, view, n_threads, dest, Kernel::Bitonic);
 }
 
-fn sort_impl(data: &mut Vec<u32>, topo: &TopoView, n_threads: usize, dest: usize, kernel: Kernel) {
+/// [`mctop_sort`] on a caller-owned persistent executor: the
+/// repeated-sort hot path. Worker count and socket assignment come
+/// from the executor's placement; nothing is spawned or pinned per
+/// call.
+pub fn mctop_sort_on(exec: &Executor, data: &mut Vec<u32>, view: &TopoView, dest: usize) {
+    sort_on_impl(data, view, exec, dest, Kernel::Scalar);
+}
+
+/// [`mctop_sort_sse`] on a caller-owned persistent executor.
+pub fn mctop_sort_sse_on(exec: &Executor, data: &mut Vec<u32>, view: &TopoView, dest: usize) {
+    sort_on_impl(data, view, exec, dest, Kernel::Bitonic);
+}
+
+fn sort_impl(data: &mut Vec<u32>, view: &TopoView, n_threads: usize, dest: usize, kernel: Kernel) {
+    if data.len() < 2 {
+        return;
+    }
+    let n_threads = n_threads.clamp(1, view.num_hwcs());
+    // Spread threads across sockets (RR policy, as the paper does, "in
+    // order to benefit from the large LLCs of each socket").
+    let placement = Placement::with_view(view, Policy::RrCore, PlaceOpts::threads(n_threads))
+        .expect("RR placement always succeeds");
+    let exec = Executor::with_cfg(Some(view), &placement, ExecCfg::default());
+    sort_on_impl(data, view, &exec, dest, kernel);
+}
+
+fn sort_on_impl(
+    data: &mut Vec<u32>,
+    view: &TopoView,
+    exec: &Executor,
+    dest: usize,
+    kernel: Kernel,
+) {
     let n = data.len();
     if n < 2 {
         return;
     }
-    let n_threads = n_threads.clamp(1, topo.num_hwcs());
-    // Spread threads across sockets (RR policy, as the paper does, "in
-    // order to benefit from the large LLCs of each socket").
-    let placement = Placement::with_view(topo, Policy::RrCore, PlaceOpts::threads(n_threads))
-        .expect("RR placement always succeeds");
+    let ctxs = exec.worker_ctxs();
+    let n_threads = ctxs.len();
+    let threads_of_socket =
+        |s: usize| -> usize { ctxs.iter().filter(|c| c.socket() == s).count().max(1) };
 
     // --- Phase 1: parallel chunk quicksort -----------------------------
     let chunk = n.div_ceil(n_threads);
-    std::thread::scope(|scope| {
+    exec.scope(|sc| {
         for piece in data.chunks_mut(chunk) {
-            scope.spawn(|| quicksort(piece));
+            sc.spawn(move || quicksort(piece));
         }
     });
 
     // --- Phase 2: per-socket cooperative merging ------------------------
     // Assign each chunk to the socket of the worker that sorted it.
-    let order = placement.order();
-    let mut socket_runs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); topo.num_sockets()];
+    let mut socket_runs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); view.num_sockets()];
     for (idx, piece) in data.chunks(chunk).enumerate() {
-        let socket = topo.socket_of(order[idx % order.len()]);
+        let socket = ctxs[idx % n_threads].socket();
         socket_runs[socket].push(piece.to_vec());
     }
-    let threads_of_socket = |s: usize| -> usize {
-        order
-            .iter()
-            .filter(|&&h| topo.socket_of(h) == s)
-            .count()
-            .max(1)
-    };
     // Merge within each socket (all its threads cooperate) until one
-    // run per socket; sockets merge concurrently.
-    let mut per_socket: Vec<(usize, Vec<u32>)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (s, runs) in socket_runs.into_iter().enumerate() {
-            if runs.is_empty() {
+    // run per socket. Each round pairs up every socket's runs and
+    // submits all merge segments of all sockets in one scope, so the
+    // sockets still merge concurrently.
+    struct PairMerge {
+        socket: usize,
+        a: Vec<u32>,
+        b: Vec<u32>,
+        out: Vec<u32>,
+        threads: usize,
+    }
+    while socket_runs.iter().any(|runs| runs.len() > 1) {
+        let mut round: Vec<PairMerge> = Vec::new();
+        for (s, runs) in socket_runs.iter_mut().enumerate() {
+            if runs.len() <= 1 {
                 continue;
             }
             let k = threads_of_socket(s);
-            handles.push((s, scope.spawn(move || reduce_runs(runs, k))));
+            let taken = std::mem::take(runs);
+            let mut iter = taken.into_iter();
+            let mut pairs = Vec::new();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => pairs.push((a, b)),
+                    None => runs.push(a),
+                }
+            }
+            let threads = (k / pairs.len().max(1)).max(1);
+            for (a, b) in pairs {
+                let out = vec![0u32; a.len() + b.len()];
+                round.push(PairMerge {
+                    socket: s,
+                    a,
+                    b,
+                    out,
+                    threads,
+                });
+            }
         }
-        for (s, h) in handles {
-            per_socket.push((s, h.join().expect("socket merge panicked")));
+        let mut jobs: Vec<TaggedJob<'_>> = Vec::new();
+        for pm in round.iter_mut() {
+            jobs.extend(kernel_jobs(
+                &pm.a,
+                &pm.b,
+                &mut pm.out,
+                pm.threads,
+                Kernel::Scalar,
+            ));
         }
-    });
-    per_socket.sort_by_key(|&(s, _)| s);
+        run_jobs(exec, jobs);
+        for pm in round {
+            socket_runs[pm.socket].push(pm.out);
+        }
+    }
+    let per_socket: Vec<(usize, Vec<u32>)> = socket_runs
+        .into_iter()
+        .enumerate()
+        .filter_map(|(s, mut runs)| runs.pop().map(|run| (s, run)))
+        .collect();
 
     // --- Phase 3: cross-socket tree merge --------------------------------
     let sockets: Vec<usize> = per_socket.iter().map(|&(s, _)| s).collect();
@@ -125,39 +216,39 @@ fn sort_impl(data: &mut Vec<u32>, topo: &TopoView, n_threads: usize, dest: usize
     } else {
         sockets[0]
     };
-    let tree = MergeTree::build(topo, &sockets, dest);
-    let mut run_of: std::collections::BTreeMap<usize, Vec<u32>> = per_socket.into_iter().collect();
+    let tree = MergeTree::build(view, &sockets, dest);
+    let mut run_of: BTreeMap<usize, Vec<u32>> = per_socket.into_iter().collect();
+    struct StepMerge {
+        dst: usize,
+        a: Vec<u32>,
+        b: Vec<u32>,
+        out: Vec<u32>,
+        threads: usize,
+    }
     for level in &tree.levels {
-        // Steps in a level are independent; run them in parallel.
-        let mut inputs = Vec::new();
+        // Steps in a level are independent; all their segments go into
+        // one scope. Threads of both participating sockets cooperate.
+        let mut steps: Vec<StepMerge> = Vec::new();
         for step in level {
             let a = run_of.remove(&step.dst).expect("dst run exists");
             let b = run_of.remove(&step.src).expect("src run exists");
-            // Threads of both participating sockets cooperate.
-            let k = threads_of_socket(step.dst) + threads_of_socket(step.src);
-            inputs.push((step.dst, a, b, k));
+            let threads = threads_of_socket(step.dst) + threads_of_socket(step.src);
+            let out = vec![0u32; a.len() + b.len()];
+            steps.push(StepMerge {
+                dst: step.dst,
+                a,
+                b,
+                out,
+                threads,
+            });
         }
-        let merged: Vec<(usize, Vec<u32>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .into_iter()
-                .map(|(dst, a, b, k)| {
-                    scope.spawn(move || {
-                        let mut out = vec![0u32; a.len() + b.len()];
-                        match kernel {
-                            Kernel::Scalar => parallel_merge(&a, &b, &mut out, k),
-                            Kernel::Bitonic => bitonic_cooperative(&a, &b, &mut out, k),
-                        }
-                        (dst, out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("merge panicked"))
-                .collect()
-        });
-        for (dst, run) in merged {
-            run_of.insert(dst, run);
+        let mut jobs: Vec<TaggedJob<'_>> = Vec::new();
+        for sm in steps.iter_mut() {
+            jobs.extend(kernel_jobs(&sm.a, &sm.b, &mut sm.out, sm.threads, kernel));
+        }
+        run_jobs(exec, jobs);
+        for sm in steps {
+            run_of.insert(sm.dst, sm.out);
         }
     }
     let final_run = run_of.remove(&dest).expect("root run");
@@ -165,8 +256,84 @@ fn sort_impl(data: &mut Vec<u32>, topo: &TopoView, n_threads: usize, dest: usize
     *data = final_run;
 }
 
+/// Splits one pair merge into tagged executor jobs for the chosen
+/// kernel.
+fn kernel_jobs<'a>(
+    a: &'a [u32],
+    b: &'a [u32],
+    out: &'a mut [u32],
+    k: usize,
+    kernel: Kernel,
+) -> Vec<TaggedJob<'a>> {
+    match kernel {
+        Kernel::Scalar => merge_jobs(a, b, out, k)
+            .into_iter()
+            .map(|(sa, sb, window)| (false, sa, sb, window))
+            .collect(),
+        Kernel::Bitonic => bitonic_jobs(a, b, out, k),
+    }
+}
+
+/// Submits one scope running every tagged segment.
+fn run_jobs(exec: &Executor, jobs: Vec<TaggedJob<'_>>) {
+    exec.scope(|sc| {
+        for (simd, sa, sb, window) in jobs {
+            sc.spawn(move || {
+                if simd {
+                    crate::bitonic::merge_bitonic(sa, sb, window);
+                } else {
+                    merge_into(sa, sb, window);
+                }
+            });
+        }
+    });
+}
+
+/// SSE-style cooperative merge split: the first context of each core
+/// uses the bitonic kernel and is given three times more data than the
+/// scalar threads (Section 7.2) — `k` merge-path segments with a 3:1
+/// weight for the bitonic half.
+fn bitonic_jobs<'a>(
+    a: &'a [u32],
+    b: &'a [u32],
+    out: &'a mut [u32],
+    k: usize,
+) -> Vec<TaggedJob<'a>> {
+    if k <= 1 || out.len() < 4096 {
+        return vec![(true, a, b, out)];
+    }
+    // Half the workers use the bitonic kernel with weight 3.
+    let simd_workers = k.div_ceil(2);
+    let scalar_workers = k - simd_workers;
+    let total_weight = simd_workers * 3 + scalar_workers;
+    let total = a.len() + b.len();
+    let mut boundaries = vec![0usize];
+    let mut acc = 0usize;
+    for w in 0..k {
+        acc += if w < simd_workers { 3 } else { 1 };
+        boundaries.push(total * acc / total_weight);
+    }
+    let cuts: Vec<(usize, usize)> = boundaries
+        .iter()
+        .map(|&d| crate::merge::co_rank(d, a, b))
+        .collect();
+    let mut jobs = Vec::with_capacity(k);
+    let mut rest = out;
+    for w in 0..k {
+        let (i0, j0) = cuts[w];
+        let (i1, j1) = cuts[w + 1];
+        let len = (i1 - i0) + (j1 - j0);
+        let (window, tail) = rest.split_at_mut(len);
+        rest = tail;
+        jobs.push((w < simd_workers, &a[i0..i1], &b[j0..j1], window));
+    }
+    debug_assert!(rest.is_empty());
+    jobs
+}
+
 /// Pairwise-reduces runs to one, using `k` cooperating threads per
-/// merge.
+/// merge (scoped threads: this is the topology-agnostic baseline's
+/// merge loop).
 fn reduce_runs(mut runs: Vec<Vec<u32>>, k: usize) -> Vec<u32> {
     while runs.len() > 1 {
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
@@ -201,60 +368,10 @@ fn reduce_runs(mut runs: Vec<Vec<u32>>, k: usize) -> Vec<u32> {
     runs.pop().unwrap_or_default()
 }
 
-/// SSE-style cooperative merge: the first context of each core uses the
-/// bitonic kernel and is given three times more data than the scalar
-/// threads (Section 7.2). Here: split the merge into `k` merge-path
-/// segments with a 3:1 weight for the bitonic half.
-fn bitonic_cooperative(a: &[u32], b: &[u32], out: &mut [u32], k: usize) {
-    if k <= 1 || out.len() < 4096 {
-        crate::bitonic::merge_bitonic(a, b, out);
-        return;
-    }
-    // Half the workers use the bitonic kernel with weight 3.
-    let simd_workers = k.div_ceil(2);
-    let scalar_workers = k - simd_workers;
-    let total_weight = simd_workers * 3 + scalar_workers;
-    let total = a.len() + b.len();
-    let mut boundaries = vec![0usize];
-    let mut acc = 0usize;
-    for w in 0..k {
-        acc += if w < simd_workers { 3 } else { 1 };
-        boundaries.push(total * acc / total_weight);
-    }
-    let cuts: Vec<(usize, usize)> = boundaries
-        .iter()
-        .map(|&d| crate::merge::co_rank(d, a, b))
-        .collect();
-    let out_len = out.len();
-    let mut rest = out;
-    let mut taken = 0usize;
-    std::thread::scope(|scope| {
-        for w in 0..k {
-            let (i0, j0) = cuts[w];
-            let (i1, j1) = cuts[w + 1];
-            let len = (i1 - i0) + (j1 - j0);
-            let (window, tail) = rest.split_at_mut(len);
-            taken += len;
-            rest = tail;
-            let sa = &a[i0..i1];
-            let sb = &b[j0..j1];
-            let simd = w < simd_workers;
-            scope.spawn(move || {
-                if simd {
-                    crate::bitonic::merge_bitonic(sa, sb, window);
-                } else {
-                    merge_into(sa, sb, window);
-                }
-            });
-        }
-    });
-    debug_assert_eq!(taken, out_len);
-    let _ = taken;
-}
-
 /// The topology-agnostic baseline, shaped like `__gnu_parallel::sort`:
 /// parallel chunk quicksort, then iterative pairwise parallel merging —
-/// no placement, no NUMA awareness.
+/// no placement, no NUMA awareness, fresh scoped threads per call (the
+/// comparison point the executor-backed paths are measured against).
 pub fn baseline_sort(data: &mut Vec<u32>, n_threads: usize) {
     let n = data.len();
     if n < 2 {
@@ -355,5 +472,38 @@ mod tests {
         expected.sort_unstable();
         mctop_sort(&mut v, &t, 1, 0);
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn persistent_executor_sorts_repeatedly() {
+        let view = TopoView::new(Arc::new(topo()));
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(6)).unwrap();
+        let exec = Executor::new(&view, &placement);
+        for (round, n) in [10_000usize, 0, 1, 120_000, 4096].into_iter().enumerate() {
+            let mut v = random(n, round as u64);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            mctop_sort_on(&exec, &mut v, &view, round % 2);
+            assert_eq!(v, expected, "round={round}");
+            let mut w = random(n, round as u64 + 100);
+            let mut expected_sse = w.clone();
+            expected_sse.sort_unstable();
+            mctop_sort_sse_on(&exec, &mut w, &view, 0);
+            assert_eq!(w, expected_sse, "sse round={round}");
+        }
+    }
+
+    #[test]
+    fn executor_and_transient_paths_agree() {
+        let t = topo();
+        let view = TopoView::new(Arc::new(t.clone()));
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(8)).unwrap();
+        let exec = Executor::new(&view, &placement);
+        let data = random(90_000, 11);
+        let mut a = data.clone();
+        mctop_sort(&mut a, &t, 8, 0);
+        let mut b = data.clone();
+        mctop_sort_on(&exec, &mut b, &view, 0);
+        assert_eq!(a, b);
     }
 }

@@ -20,19 +20,35 @@ use mctop_locks::LockAlgo;
 
 fn main() {
     // --- Real execution on this machine --------------------------------
+    // Contenders run on a placement-pinned pool over the shipped ivy
+    // description (SEQUENTIAL: slot i -> context i, which maps onto the
+    // host CPUs where they exist), not on bare unpinned threads.
+    let view = mctop::Registry::shipped()
+        .view("ivy")
+        .expect("shipped description");
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(2);
+        .unwrap_or(2)
+        .min(view.num_hwcs());
+    let place = std::sync::Arc::new(
+        mctop_place::Placement::with_view(
+            &view,
+            mctop_place::Policy::Sequential,
+            mctop_place::PlaceOpts::threads(threads),
+        )
+        .expect("SEQUENTIAL placement"),
+    );
+    let pool = mctop_runtime::WorkerPool::new(place);
     let cfg = HarnessCfg {
-        threads,
         cs_work: 1000,
         noncs_work: 600,
         duration: Duration::from_millis(300),
     };
-    println!("host: {threads} threads, 1000-cycle critical sections");
+    println!("host: {threads} placement-pinned threads, 1000-cycle critical sections");
     for algo in LockAlgo::ALL {
-        let base = run(algo, BackoffCfg::none(), &cfg);
+        let base = run(&pool, algo, BackoffCfg::none(), &cfg);
         let educated = run(
+            &pool,
             algo,
             BackoffCfg {
                 quantum_cycles: 300,

@@ -93,6 +93,82 @@ impl<T> Stealer<T> {
     }
 }
 
+/// A shared FIFO injector queue: the global entry point of an executor,
+/// pushed by any thread and drained by the workers (the `Injector` of
+/// the real crate).
+pub struct Injector<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// A new empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task; any thread may call this.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// Attempts to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks, moving them into `dest`, and returns
+    /// the first one: the thief takes the oldest task plus up to half
+    /// of what remains, so later pops hit its own deque.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match src.pop_front() {
+            None => Steal::Empty,
+            Some(first) => {
+                let extra = src.len() / 2;
+                if extra > 0 {
+                    let mut dst = dest.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    for _ in 0..extra {
+                        dst.push_back(src.pop_front().expect("len checked"));
+                    }
+                }
+                Steal::Success(first)
+            }
+        }
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +208,26 @@ mod tests {
                 .sum()
         });
         assert_eq!(stolen, 100);
+    }
+
+    #[test]
+    fn injector_batch_hand_off() {
+        let inj: Injector<u32> = Injector::new();
+        let w: Worker<u32> = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+        for i in 0..9 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 9);
+        // Thief gets the oldest plus half the rest into its deque.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(inj.len(), 4);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(w.pop(), None);
+        assert_eq!(inj.steal(), Steal::Success(5));
+        assert!(!inj.is_empty());
     }
 }
