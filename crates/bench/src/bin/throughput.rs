@@ -1,0 +1,383 @@
+//! Sustained mixed-workload throughput harness: the bench that earns
+//! (or refutes) the "millions of requests" trajectory, emitted as
+//! `BENCH_throughput.json` for CI.
+//!
+//! Usage: `throughput [OUT_PATH] [--duration-ms N] [--batch N]`
+//! (defaults: `BENCH_throughput.json`, 1000 ms per platform × kernel
+//! mode, admission batches of 32).
+//!
+//! One persistent [`Executor`] per paper platform serves a seeded
+//! mixed request stream — sorts (the hot path under test), MapReduce
+//! jobs, placement queries and alloc-plan resolutions — with
+//! **admission batching**: requests are admitted in fixed-size batches
+//! from the queue and run back to back, the shape of a server draining
+//! its accept queue. Per-request wall latency feeds p50/p99; the
+//! request rate is measured over the whole sustained window, not a
+//! one-shot run. Sorts reuse one [`SortScratch`] across the entire
+//! stream, so the steady state allocates nothing per request.
+//!
+//! Every platform runs the stream twice — once with the forced-scalar
+//! merge kernel, once with the auto-detected SIMD kernel — plus a
+//! single-threaded merge-phase microbench of both kernels, so the
+//! artifact tracks the SIMD speedup at both the kernel level and the
+//! end-to-end request level.
+
+use std::time::Instant;
+
+use mctop_alloc::{
+    AllocCfg,
+    AllocPlan,
+    AllocPolicy, //
+};
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+use mctop_runtime::{
+    ExecCfg,
+    Executor, //
+};
+use mctop_sort::simd::{
+    self,
+    KernelTable, //
+};
+use mctop_sort::SortScratch;
+use serde::Serialize;
+
+/// Workers per platform (clamped to the platform's context count).
+const WORKERS: usize = 8;
+/// Elements per sort request.
+const SORT_ELEMS: usize = 1 << 16;
+/// Lines per MapReduce request.
+const MAPRED_LINES: usize = 2_000;
+/// Elements per side of the merge-phase microbench.
+const MERGE_BENCH_ELEMS: usize = 1 << 21;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    duration_ms: u64,
+    batch: usize,
+    hw_threads: usize,
+    /// The kernel `simd::auto()` dispatched on this host.
+    auto_kernel: &'static str,
+    platforms: Vec<Platform>,
+}
+
+#[derive(Serialize)]
+struct Platform {
+    preset: String,
+    contexts: usize,
+    workers: usize,
+    /// One row per kernel mode (scalar, then auto).
+    modes: Vec<Mode>,
+    /// Merge-phase throughput, SIMD over scalar (the acceptance
+    /// metric: must be >= 1.3 where a vector unit exists).
+    merge_phase_speedup: f64,
+    /// End-to-end request throughput, SIMD over scalar.
+    simd_vs_scalar_rps: f64,
+}
+
+#[derive(Serialize)]
+struct Mode {
+    kernel: &'static str,
+    requests: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Requests served per kind over the window.
+    mix: Mix,
+    /// Single-threaded merge-phase throughput of this mode's kernel,
+    /// million elements per second.
+    merge_phase_melems_s: f64,
+}
+
+#[derive(Serialize, Default, Clone, Copy)]
+struct Mix {
+    sort: u64,
+    mapred: u64,
+    place: u64,
+    alloc: u64,
+}
+
+/// One admitted request. Payload indices select pre-generated inputs
+/// so request generation costs nothing inside the measured window.
+#[derive(Clone, Copy)]
+enum Request {
+    /// Sort dataset `idx` to destination socket `dest`.
+    Sort { idx: usize, dest: usize },
+    /// WordCount over text corpus `idx`.
+    MapRed { idx: usize },
+    /// Resolve a placement with `policy` for `threads` threads.
+    Place { policy: Policy, threads: usize },
+    /// Resolve an alloc plan with `policy`.
+    Alloc { policy: u8 },
+}
+
+/// Deterministic request stream: the same seed yields the same mix for
+/// both kernel modes, so their rows are comparable.
+struct Stream {
+    state: u64,
+    sockets: usize,
+    max_threads: usize,
+}
+
+impl Stream {
+    fn new(seed: u64, sockets: usize, max_threads: usize) -> Stream {
+        Stream {
+            state: seed | 1,
+            sockets,
+            max_threads,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 11
+    }
+
+    fn next(&mut self) -> Request {
+        // Sort-heavy mix: the merge kernels are the lever under test,
+        // but every library surface stays on the critical path.
+        match self.next_u64() % 10 {
+            0..=4 => Request::Sort {
+                idx: (self.next_u64() % SORT_POOL as u64) as usize,
+                dest: (self.next_u64() % self.sockets as u64) as usize,
+            },
+            5 | 6 => Request::MapRed {
+                idx: (self.next_u64() % MAPRED_POOL as u64) as usize,
+            },
+            7 | 8 => {
+                let policies = [
+                    Policy::RrCore,
+                    Policy::ConHwc,
+                    Policy::BalanceCore,
+                    Policy::ConCoreHwc,
+                ];
+                Request::Place {
+                    policy: policies[(self.next_u64() % 4) as usize],
+                    threads: 1 + (self.next_u64() % self.max_threads as u64) as usize,
+                }
+            }
+            _ => Request::Alloc {
+                policy: (self.next_u64() % 3) as u8,
+            },
+        }
+    }
+}
+
+/// Pre-generated sort datasets rotated through by the stream.
+const SORT_POOL: usize = 4;
+/// Pre-generated MapReduce corpora.
+const MAPRED_POOL: usize = 2;
+
+struct Inputs {
+    sorts: Vec<Vec<u32>>,
+    texts: Vec<Vec<Vec<u32>>>,
+}
+
+fn inputs() -> Inputs {
+    let sorts = (0..SORT_POOL)
+        .map(|i| {
+            let mut x = 0x9E37_79B9u64.wrapping_add(i as u64);
+            (0..SORT_ELEMS)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u32
+                })
+                .collect()
+        })
+        .collect();
+    let texts = (0..MAPRED_POOL)
+        .map(|i| mctop_mapred::workloads::gen_text(MAPRED_LINES, 12, 500, i as u64))
+        .collect();
+    Inputs { sorts, texts }
+}
+
+/// Runs one sustained window over `exec`; returns the mode row.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    exec: &Executor,
+    view: &mctop::view::TopoView,
+    inputs: &Inputs,
+    table: &'static KernelTable,
+    duration_ms: u64,
+    batch: usize,
+    seed: u64,
+) -> Mode {
+    let mut stream = Stream::new(seed, view.num_sockets(), WORKERS.min(view.num_hwcs()));
+    let mut scratch = SortScratch::new();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(4096);
+    let mut mix = Mix::default();
+    let alloc_cfg = AllocCfg::default();
+    let budget = std::time::Duration::from_millis(duration_ms);
+
+    // Warm the executor and the scratch pool outside the window.
+    for ds in inputs.sorts.iter().take(1) {
+        let mut v = ds.clone();
+        mctop_sort::mctop_sort_kernel_on(exec, &mut v, view, 0, &mut scratch, table);
+    }
+
+    let window = Instant::now();
+    let mut requests = 0u64;
+    while window.elapsed() < budget {
+        // Admission batching: pull one fixed-size batch off the stream,
+        // then drain it back to back.
+        let admitted: Vec<Request> = (0..batch).map(|_| stream.next()).collect();
+        for req in admitted {
+            let start = Instant::now();
+            match req {
+                Request::Sort { idx, dest } => {
+                    let mut v = inputs.sorts[idx].clone();
+                    mctop_sort::mctop_sort_kernel_on(exec, &mut v, view, dest, &mut scratch, table);
+                    std::hint::black_box(v.last().copied());
+                    mix.sort += 1;
+                }
+                Request::MapRed { idx } => {
+                    let out = mctop_mapred::run_job_on(
+                        exec,
+                        &mctop_mapred::workloads::WordCount,
+                        &inputs.texts[idx],
+                        &Default::default(),
+                    );
+                    std::hint::black_box(out.len());
+                    mix.mapred += 1;
+                }
+                Request::Place { policy, threads } => {
+                    let p = Placement::with_view(view, policy, PlaceOpts::threads(threads))
+                        .expect("paper platforms place");
+                    std::hint::black_box(p.capacity());
+                    mix.place += 1;
+                }
+                Request::Alloc { policy } => {
+                    let policy = match policy {
+                        0 => AllocPolicy::Local,
+                        1 => AllocPolicy::Interleave,
+                        _ => AllocPolicy::BwProportional,
+                    };
+                    let placement = Placement::with_view(
+                        view,
+                        Policy::RrCore,
+                        PlaceOpts::threads(WORKERS.min(view.num_hwcs())),
+                    )
+                    .expect("RR placement");
+                    let plan = AllocPlan::resolve(view, &placement, &policy, &alloc_cfg)
+                        .expect("paper platforms resolve");
+                    std::hint::black_box(plan.arenas.len());
+                    mix.alloc += 1;
+                }
+            }
+            latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            requests += 1;
+        }
+    }
+    let elapsed = window.elapsed().as_secs_f64();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let i = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[i]
+    };
+    let merge_ns = simd::measure_merge_ns(table, MERGE_BENCH_ELEMS, 3);
+    Mode {
+        kernel: table.name,
+        requests,
+        rps: requests as f64 / elapsed,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        mix,
+        merge_phase_melems_s: 1e3 / merge_ns,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut duration_ms = 1000u64;
+    let mut batch = 32usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration-ms" => {
+                duration_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-ms takes a number");
+            }
+            "--batch" => {
+                batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batch takes a number");
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let registry = mctop::Registry::shipped();
+    let ins = inputs();
+
+    let mut platforms = Vec::new();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let view = registry.view(&spec.name).expect("shipped description");
+        let workers = WORKERS.min(view.num_hwcs());
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(workers))
+            .expect("RR placement");
+        let cfg = ExecCfg {
+            workers: None,
+            os_pin: false,
+        };
+        let exec = Executor::with_cfg(Some(&view), &placement, cfg);
+
+        let modes: Vec<Mode> = [simd::scalar(), simd::auto()]
+            .into_iter()
+            .map(|table| run_mode(&exec, &view, &ins, table, duration_ms, batch, 0xC0FFEE))
+            .collect();
+        let merge_phase_speedup = modes[1].merge_phase_melems_s / modes[0].merge_phase_melems_s;
+        let simd_vs_scalar_rps = modes[1].rps / modes[0].rps;
+        eprintln!(
+            "{:<9} {:>4} ctxs  {} workers  scalar {:>8.0} req/s  {} {:>8.0} req/s  \
+             (x{:.2} rps, x{:.2} merge-phase)  p99 {:>7.0} us",
+            spec.name,
+            view.num_hwcs(),
+            workers,
+            modes[0].rps,
+            modes[1].kernel,
+            modes[1].rps,
+            simd_vs_scalar_rps,
+            merge_phase_speedup,
+            modes[1].p99_us,
+        );
+        platforms.push(Platform {
+            preset: spec.name.clone(),
+            contexts: view.num_hwcs(),
+            workers,
+            modes,
+            merge_phase_speedup,
+            simd_vs_scalar_rps,
+        });
+    }
+
+    let report = Report {
+        bench: "throughput",
+        duration_ms,
+        batch,
+        hw_threads,
+        auto_kernel: simd::auto().name,
+        platforms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

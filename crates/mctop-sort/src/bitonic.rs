@@ -13,7 +13,7 @@
 /// Merges two sorted 4-element arrays into a sorted 8-element array
 /// (one pass of the bitonic network: reverse + 3 compare-exchange
 /// stages).
-#[inline]
+#[inline(always)]
 pub fn bitonic_merge_4x4(a: [u32; 4], b: [u32; 4]) -> [u32; 8] {
     // Stage 0: concatenate a with reversed b -> bitonic sequence.
     let mut v = [a[0], a[1], a[2], a[3], b[3], b[2], b[1], b[0]];
@@ -82,15 +82,12 @@ pub fn merge_bitonic(a: &[u32], b: &[u32], out: &mut [u32]) {
                 break;
             }
         }
-        // Flush the pending register against the scalar tail merge: the
-        // `high` register holds 4 sorted elements that are all <= the
-        // remaining inputs' merged heads only pairwise — merge it as a
-        // third tiny run.
-        let mut rest = vec![0u32; (a.len() - i) + (b.len() - j)];
-        crate::merge::merge_into(&a[i..], &b[j..], &mut rest);
-        let mut final_tail = vec![0u32; high.len() + rest.len()];
-        crate::merge::merge_into(&high, &rest, &mut final_tail);
-        out[o..].copy_from_slice(&final_tail);
+        // Flush the pending register against the input tails through
+        // the shared scalar epilogue: `high` holds 4 sorted elements
+        // merged as a third tiny run, with no scratch allocation. Every
+        // kernel width (4-wide scalar/SSE, 8-wide AVX2) funnels its
+        // non-multiple-of-width remainder through this same path.
+        crate::merge::merge3_into(&high, &a[i..], &b[j..], &mut out[o..]);
         return;
     }
     // Short inputs: scalar.

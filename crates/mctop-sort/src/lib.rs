@@ -13,9 +13,13 @@
 //! - [`seq`]: the sequential quicksort used for the first phase;
 //! - [`merge`]: scalar merging plus merge-path splitting for
 //!   cooperative (multi-thread) merges;
-//! - [`bitonic`]: a 4-wide bitonic merge network — the stand-in for the
-//!   SSE kernel of `mctop_sort_sse` (written over fixed-size arrays so
-//!   the compiler can vectorize it);
+//! - [`bitonic`]: the portable 4-wide bitonic merge network — the
+//!   mandatory scalar fallback of `mctop_sort_sse` (written over
+//!   fixed-size arrays so the compiler can vectorize it);
+//! - [`simd`]: runtime-feature-detected SSE4.1/AVX2 bitonic merge
+//!   networks plus the kernel table that dispatches one merge kernel
+//!   per sort (byte-identical output to the scalar merge; scalar-only
+//!   under `--no-default-features`);
 //! - [`tree`]: the bandwidth-maximizing cross-socket merge tree;
 //! - [`parallel`]: `mctop_sort`, `mctop_sort_sse`, and the
 //!   topology-agnostic `gnu_parallel`-like baseline — all real,
@@ -28,14 +32,17 @@ pub mod merge;
 pub mod model;
 pub mod parallel;
 pub mod seq;
+pub mod simd;
 pub mod tree;
 
 pub use parallel::{
     baseline_sort,
     mctop_sort,
+    mctop_sort_kernel_on,
     mctop_sort_on,
     mctop_sort_sse,
     mctop_sort_sse_on,
     mctop_sort_sse_with_view,
-    mctop_sort_with_view, //
+    mctop_sort_with_view,
+    SortScratch, //
 };

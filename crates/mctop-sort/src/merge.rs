@@ -24,6 +24,56 @@ pub fn merge_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
     }
 }
 
+/// Merges three sorted slices into `out` (must have the exact combined
+/// length) — the shared scalar epilogue of every bitonic merge kernel:
+/// `p` is the pending high register flushed out of the network, `a` and
+/// `b` are the unconsumed input tails. No scratch allocation: one
+/// three-way head comparison per output element.
+pub fn merge3_into<T: Ord + Copy>(p: &[T], a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(
+        out.len(),
+        p.len() + a.len() + b.len(),
+        "output size mismatch"
+    );
+    let (mut ip, mut ia, mut ib) = (0usize, 0usize, 0usize);
+    for slot in out.iter_mut() {
+        // Smallest head wins; ties prefer p, then a (for plain values
+        // the output sequence is the same either way).
+        let min_ab = match (a.get(ia), b.get(ib)) {
+            (Some(x), Some(y)) => Some(if x <= y { x } else { y }),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        };
+        match (p.get(ip), min_ab) {
+            (Some(x), None) => {
+                *slot = *x;
+                ip += 1;
+            }
+            (Some(x), Some(m)) if x <= m => {
+                *slot = *x;
+                ip += 1;
+            }
+            (_, Some(_)) => match (a.get(ia), b.get(ib)) {
+                (Some(x), Some(y)) if x <= y => {
+                    *slot = *x;
+                    ia += 1;
+                }
+                (Some(x), None) => {
+                    *slot = *x;
+                    ia += 1;
+                }
+                (_, Some(y)) => {
+                    *slot = *y;
+                    ib += 1;
+                }
+                (_, None) => unreachable!("min_ab was Some"),
+            },
+            (None, None) => unreachable!("output exactly fits"),
+        }
+    }
+}
+
 /// Co-ranks for the merge path: returns `(i, j)` with `i + j == d` such
 /// that merging `a[..i]` and `b[..j]` produces exactly the first `d`
 /// output elements.

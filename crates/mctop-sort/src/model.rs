@@ -72,6 +72,43 @@ impl Default for SortModelCfg {
     }
 }
 
+impl SortModelCfg {
+    /// Replaces the SIMD cycles-per-element constant with one measured
+    /// from the kernels the sort actually runs: the scalar constant
+    /// (which calibrates the Ivy column of Fig. 9) is kept, and the
+    /// SIMD constant is rescaled by the host-measured
+    /// `simd_ns / scalar_ns` ratio of the two kernel tables. The ratio
+    /// transfers across modeled platforms (it is a property of the
+    /// kernels, not of the clock), so the `mctop_sse` prediction tracks
+    /// whatever kernel [`crate::simd::auto`] dispatched — including a
+    /// host where no vector unit exists, in which case the ratio is
+    /// ~1 and the sse variant correctly predicts no kernel win.
+    pub fn calibrate_kernels(
+        mut self,
+        scalar: &crate::simd::KernelTable,
+        simd: &crate::simd::KernelTable,
+    ) -> SortModelCfg {
+        // Big enough to leave L1/L2, small enough to stay fast.
+        const ELEMS: usize = 1 << 20;
+        const REPS: usize = 5;
+        let scalar_ns = crate::simd::measure_merge_ns(scalar, ELEMS, REPS);
+        let simd_ns = crate::simd::measure_merge_ns(simd, ELEMS, REPS);
+        if scalar_ns > 0.0 && simd_ns.is_finite() {
+            // The SIMD kernel never models slower than scalar: the
+            // dispatch contract falls back to scalar when vectors lose.
+            self.simd_merge_cycles =
+                (self.scalar_merge_cycles * simd_ns / scalar_ns).min(self.scalar_merge_cycles);
+        }
+        self
+    }
+
+    /// [`SortModelCfg::calibrate_kernels`] over the dispatch pair the
+    /// sorts use: [`crate::simd::scalar`] vs [`crate::simd::auto`].
+    pub fn calibrated() -> SortModelCfg {
+        SortModelCfg::default().calibrate_kernels(crate::simd::scalar(), crate::simd::auto())
+    }
+}
+
 /// Predicted time breakdown, seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SortTime {
@@ -393,6 +430,24 @@ mod tests {
             &AllocPolicy::OnNodes(vec![99]),
         );
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn calibrated_cfg_tracks_measured_kernels() {
+        let cfg = SortModelCfg::calibrated();
+        assert!(cfg.simd_merge_cycles > 0.0 && cfg.simd_merge_cycles.is_finite());
+        // The dispatch contract never models SIMD slower than scalar.
+        assert!(cfg.simd_merge_cycles <= cfg.scalar_merge_cycles);
+        // Scalar-side constants are untouched by calibration.
+        let default = SortModelCfg::default();
+        assert_eq!(cfg.scalar_merge_cycles, default.scalar_merge_cycles);
+        assert_eq!(cfg.sort_cycles, default.sort_cycles);
+        // The calibrated sse prediction stays ordered on a real column.
+        let spec = mcsim::presets::ivy();
+        let topo = enriched(&spec);
+        let mc = predict(&spec, &topo, SortAlgo::Mctop, 16, &cfg);
+        let sse = predict(&spec, &topo, SortAlgo::MctopSse, 16, &cfg);
+        assert!(sse.total() <= mc.total() + 1e-9);
     }
 
     #[test]

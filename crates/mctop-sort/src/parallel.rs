@@ -39,17 +39,70 @@ use crate::merge::{
     parallel_merge, //
 };
 use crate::seq::quicksort;
+use crate::simd::KernelTable;
 use crate::tree::MergeTree;
 
-/// Which merge kernel the cross-socket phase uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which merge kernel the merge phases use. `Vector(table)` carries
+/// the kernel resolved **once** per sort (auto-detected or forced), so
+/// per-job dispatch is a plain function-pointer call.
+#[derive(Debug, Clone, Copy)]
 enum Kernel {
     Scalar,
-    Bitonic,
+    Vector(&'static KernelTable),
 }
 
-/// One tagged merge segment: `(use_bitonic, a, b, out_window)`.
+/// One tagged merge segment: `(use_vector_kernel, a, b, out_window)`.
 type TaggedJob<'a> = (bool, &'a [u32], &'a [u32], &'a mut [u32]);
+
+/// Reusable merge scratch for the persistent-sort entry points
+/// ([`mctop_sort_on`] / [`mctop_sort_sse_on`]): a pool of `Vec<u32>`
+/// buffers recycled across merge rounds **and across sorts**, so a
+/// steady stream of similar-sized sorts stops paying one allocation
+/// per merge pair per round (the same caller-owned-state pattern the
+/// probe sample buffers use).
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    pool: Vec<Vec<u32>>,
+}
+
+impl SortScratch {
+    /// An empty scratch pool.
+    pub fn new() -> SortScratch {
+        SortScratch::default()
+    }
+
+    /// A zeroed buffer of exactly `len`, recycled when possible.
+    fn take(&mut self, len: usize) -> Vec<u32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => vec![0u32; len],
+        }
+    }
+
+    /// A recycled buffer holding a copy of `src` (no zero-fill pass).
+    fn take_copy(&mut self, src: &[u32]) -> Vec<u32> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Returns a buffer to the pool for the next round or sort.
+    fn put(&mut self, v: Vec<u32>) {
+        if v.capacity() > 0 {
+            self.pool.push(v);
+        }
+    }
+
+    /// Total capacity currently pooled, in elements.
+    pub fn pooled_elements(&self) -> usize {
+        self.pool.iter().map(Vec::capacity).sum()
+    }
+}
 
 /// Sorts `data` with the topology-aware mergesort of Section 7.2:
 /// chunks are quicksorted in parallel (threads spread with the RR
@@ -72,7 +125,13 @@ pub fn mctop_sort_sse(data: &mut Vec<u32>, topo: &Mctop, n_threads: usize, dest:
         return;
     }
     let view = TopoView::new(Arc::new(topo.clone()));
-    sort_impl(data, &view, n_threads, dest, Kernel::Bitonic);
+    sort_impl(
+        data,
+        &view,
+        n_threads,
+        dest,
+        Kernel::Vector(crate::simd::auto()),
+    );
 }
 
 /// [`mctop_sort`] over a prebuilt topology view — no per-call topology
@@ -89,20 +148,62 @@ pub fn mctop_sort_sse_with_view(
     n_threads: usize,
     dest: usize,
 ) {
-    sort_impl(data, view, n_threads, dest, Kernel::Bitonic);
+    sort_impl(
+        data,
+        view,
+        n_threads,
+        dest,
+        Kernel::Vector(crate::simd::auto()),
+    );
 }
 
 /// [`mctop_sort`] on a caller-owned persistent executor: the
 /// repeated-sort hot path. Worker count and socket assignment come
 /// from the executor's placement; nothing is spawned or pinned per
-/// call.
-pub fn mctop_sort_on(exec: &Executor, data: &mut Vec<u32>, view: &TopoView, dest: usize) {
-    sort_on_impl(data, view, exec, dest, Kernel::Scalar);
+/// call, and `scratch` recycles every merge buffer across calls.
+pub fn mctop_sort_on(
+    exec: &Executor,
+    data: &mut Vec<u32>,
+    view: &TopoView,
+    dest: usize,
+    scratch: &mut SortScratch,
+) {
+    sort_on_impl(data, view, exec, dest, Kernel::Scalar, scratch);
 }
 
-/// [`mctop_sort_sse`] on a caller-owned persistent executor.
-pub fn mctop_sort_sse_on(exec: &Executor, data: &mut Vec<u32>, view: &TopoView, dest: usize) {
-    sort_on_impl(data, view, exec, dest, Kernel::Bitonic);
+/// [`mctop_sort_sse`] on a caller-owned persistent executor: the
+/// vector merge kernel is resolved once per sort via
+/// [`crate::simd::auto`] (runtime feature detection, scalar network
+/// fallback).
+pub fn mctop_sort_sse_on(
+    exec: &Executor,
+    data: &mut Vec<u32>,
+    view: &TopoView,
+    dest: usize,
+    scratch: &mut SortScratch,
+) {
+    sort_on_impl(
+        data,
+        view,
+        exec,
+        dest,
+        Kernel::Vector(crate::simd::auto()),
+        scratch,
+    );
+}
+
+/// [`mctop_sort_sse_on`] with an explicit kernel table — the bench /
+/// test hook for forcing a specific kernel (e.g. comparing
+/// [`crate::simd::scalar`] against [`crate::simd::auto`] end to end).
+pub fn mctop_sort_kernel_on(
+    exec: &Executor,
+    data: &mut Vec<u32>,
+    view: &TopoView,
+    dest: usize,
+    scratch: &mut SortScratch,
+    table: &'static KernelTable,
+) {
+    sort_on_impl(data, view, exec, dest, Kernel::Vector(table), scratch);
 }
 
 fn sort_impl(data: &mut Vec<u32>, view: &TopoView, n_threads: usize, dest: usize, kernel: Kernel) {
@@ -115,7 +216,7 @@ fn sort_impl(data: &mut Vec<u32>, view: &TopoView, n_threads: usize, dest: usize
     let placement = Placement::with_view(view, Policy::RrCore, PlaceOpts::threads(n_threads))
         .expect("RR placement always succeeds");
     let exec = Executor::with_cfg(Some(view), &placement, ExecCfg::default());
-    sort_on_impl(data, view, &exec, dest, kernel);
+    sort_on_impl(data, view, &exec, dest, kernel, &mut SortScratch::new());
 }
 
 fn sort_on_impl(
@@ -124,6 +225,7 @@ fn sort_on_impl(
     exec: &Executor,
     dest: usize,
     kernel: Kernel,
+    scratch: &mut SortScratch,
 ) {
     let n = data.len();
     if n < 2 {
@@ -147,7 +249,7 @@ fn sort_on_impl(
     let mut socket_runs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); view.num_sockets()];
     for (idx, piece) in data.chunks(chunk).enumerate() {
         let socket = ctxs[idx % n_threads].socket();
-        socket_runs[socket].push(piece.to_vec());
+        socket_runs[socket].push(scratch.take_copy(piece));
     }
     // Merge within each socket (all its threads cooperate) until one
     // run per socket. Each round pairs up every socket's runs and
@@ -178,7 +280,7 @@ fn sort_on_impl(
             }
             let threads = (k / pairs.len().max(1)).max(1);
             for (a, b) in pairs {
-                let out = vec![0u32; a.len() + b.len()];
+                let out = scratch.take(a.len() + b.len());
                 round.push(PairMerge {
                     socket: s,
                     a,
@@ -190,17 +292,13 @@ fn sort_on_impl(
         }
         let mut jobs: Vec<TaggedJob<'_>> = Vec::new();
         for pm in round.iter_mut() {
-            jobs.extend(kernel_jobs(
-                &pm.a,
-                &pm.b,
-                &mut pm.out,
-                pm.threads,
-                Kernel::Scalar,
-            ));
+            jobs.extend(kernel_jobs(&pm.a, &pm.b, &mut pm.out, pm.threads, kernel));
         }
-        run_jobs(exec, jobs);
+        run_jobs(exec, kernel, jobs);
         for pm in round {
             socket_runs[pm.socket].push(pm.out);
+            scratch.put(pm.a);
+            scratch.put(pm.b);
         }
     }
     let per_socket: Vec<(usize, Vec<u32>)> = socket_runs
@@ -233,7 +331,7 @@ fn sort_on_impl(
             let a = run_of.remove(&step.dst).expect("dst run exists");
             let b = run_of.remove(&step.src).expect("src run exists");
             let threads = threads_of_socket(step.dst) + threads_of_socket(step.src);
-            let out = vec![0u32; a.len() + b.len()];
+            let out = scratch.take(a.len() + b.len());
             steps.push(StepMerge {
                 dst: step.dst,
                 a,
@@ -246,14 +344,16 @@ fn sort_on_impl(
         for sm in steps.iter_mut() {
             jobs.extend(kernel_jobs(&sm.a, &sm.b, &mut sm.out, sm.threads, kernel));
         }
-        run_jobs(exec, jobs);
+        run_jobs(exec, kernel, jobs);
         for sm in steps {
             run_of.insert(sm.dst, sm.out);
+            scratch.put(sm.a);
+            scratch.put(sm.b);
         }
     }
     let final_run = run_of.remove(&dest).expect("root run");
     debug_assert_eq!(final_run.len(), n);
-    *data = final_run;
+    scratch.put(std::mem::replace(data, final_run));
 }
 
 /// Splits one pair merge into tagged executor jobs for the chosen
@@ -270,17 +370,24 @@ fn kernel_jobs<'a>(
             .into_iter()
             .map(|(sa, sb, window)| (false, sa, sb, window))
             .collect(),
-        Kernel::Bitonic => bitonic_jobs(a, b, out, k),
+        Kernel::Vector(_) => bitonic_jobs(a, b, out, k),
     }
 }
 
-/// Submits one scope running every tagged segment.
-fn run_jobs(exec: &Executor, jobs: Vec<TaggedJob<'_>>) {
+/// Submits one scope running every tagged segment. Vector-tagged
+/// segments go through the kernel the sort resolved once; the rest use
+/// the scalar two-way merge.
+fn run_jobs(exec: &Executor, kernel: Kernel, jobs: Vec<TaggedJob<'_>>) {
+    let vector: crate::simd::MergeFn = match kernel {
+        // Unused: Kernel::Scalar tags every job false.
+        Kernel::Scalar => merge_into,
+        Kernel::Vector(table) => table.merge,
+    };
     exec.scope(|sc| {
         for (simd, sa, sb, window) in jobs {
             sc.spawn(move || {
                 if simd {
-                    crate::bitonic::merge_bitonic(sa, sb, window);
+                    vector(sa, sb, window);
                 } else {
                     merge_into(sa, sb, window);
                 }
@@ -479,17 +586,36 @@ mod tests {
         let view = TopoView::new(Arc::new(topo()));
         let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(6)).unwrap();
         let exec = Executor::new(&view, &placement);
+        let mut scratch = SortScratch::new();
         for (round, n) in [10_000usize, 0, 1, 120_000, 4096].into_iter().enumerate() {
             let mut v = random(n, round as u64);
             let mut expected = v.clone();
             expected.sort_unstable();
-            mctop_sort_on(&exec, &mut v, &view, round % 2);
+            mctop_sort_on(&exec, &mut v, &view, round % 2, &mut scratch);
             assert_eq!(v, expected, "round={round}");
             let mut w = random(n, round as u64 + 100);
             let mut expected_sse = w.clone();
             expected_sse.sort_unstable();
-            mctop_sort_sse_on(&exec, &mut w, &view, 0);
+            mctop_sort_sse_on(&exec, &mut w, &view, 0, &mut scratch);
             assert_eq!(w, expected_sse, "sse round={round}");
+        }
+        // The pool actually recycled buffers across those sorts.
+        assert!(scratch.pooled_elements() > 0, "scratch never pooled");
+    }
+
+    #[test]
+    fn forced_kernels_agree_end_to_end() {
+        let view = TopoView::new(Arc::new(topo()));
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(6)).unwrap();
+        let exec = Executor::new(&view, &placement);
+        let mut scratch = SortScratch::new();
+        let data = random(130_000, 21);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        for table in crate::simd::supported() {
+            let mut v = data.clone();
+            mctop_sort_kernel_on(&exec, &mut v, &view, 0, &mut scratch, table);
+            assert_eq!(v, expected, "kernel={}", table.name);
         }
     }
 
@@ -503,7 +629,7 @@ mod tests {
         let mut a = data.clone();
         mctop_sort(&mut a, &t, 8, 0);
         let mut b = data.clone();
-        mctop_sort_on(&exec, &mut b, &view, 0);
+        mctop_sort_on(&exec, &mut b, &view, 0, &mut SortScratch::new());
         assert_eq!(a, b);
     }
 }

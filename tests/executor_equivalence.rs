@@ -130,13 +130,27 @@ proptest! {
         let mut reference = data.clone();
         reference.sort_unstable();
 
+        let mut scratch = mctop_sort::SortScratch::new();
         let mut scalar = data.clone();
-        mctop_sort::mctop_sort_on(&exec, &mut scalar, &view, (seed as usize) % view.num_sockets());
+        mctop_sort::mctop_sort_on(
+            &exec,
+            &mut scalar,
+            &view,
+            (seed as usize) % view.num_sockets(),
+            &mut scratch,
+        );
         prop_assert_eq!(&scalar, &reference, "scalar kernel diverged");
 
         let mut sse = data.clone();
-        mctop_sort::mctop_sort_sse_on(&exec, &mut sse, &view, 0);
+        mctop_sort::mctop_sort_sse_on(&exec, &mut sse, &view, 0, &mut scratch);
         prop_assert_eq!(&sse, &reference, "bitonic kernel diverged");
+
+        // Forcing each supported kernel table produces the same bytes.
+        for table in mctop_sort::simd::supported() {
+            let mut forced = data.clone();
+            mctop_sort::mctop_sort_kernel_on(&exec, &mut forced, &view, 0, &mut scratch, table);
+            prop_assert_eq!(&forced, &reference, "kernel {} diverged", table.name);
+        }
 
         // The transient-executor convenience path agrees too.
         let mut with_view = data;

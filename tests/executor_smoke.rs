@@ -46,7 +46,7 @@ fn drive(exec: &Executor, view: &mctop::TopoView) {
     let mut v = data(60_000);
     let mut expected = v.clone();
     expected.sort_unstable();
-    mctop_sort::mctop_sort_on(exec, &mut v, view, 0);
+    mctop_sort::mctop_sort_on(exec, &mut v, view, 0, &mut mctop_sort::SortScratch::new());
     assert_eq!(v, expected);
     // MapReduce on the same executor.
     let items: Vec<u32> = (0..9_000).collect();
