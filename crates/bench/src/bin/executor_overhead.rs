@@ -23,8 +23,10 @@ use mctop_place::{
     Policy, //
 };
 use mctop_runtime::{
+    metrics,
     ExecCfg,
-    Executor, //
+    Executor,
+    MetricsSnapshot, //
 };
 use serde::Serialize;
 
@@ -66,6 +68,10 @@ struct Platform {
     /// Calls after which the arm cost has amortized (ceil), or 0 if
     /// persistent dispatch is not faster per call.
     breakeven_calls: u64,
+    /// Runtime counter delta over this platform's measured section
+    /// (schema in docs/OBSERVABILITY.md; park/unpark counts are
+    /// timing-dependent).
+    metrics: MetricsSnapshot,
 }
 
 #[inline]
@@ -125,6 +131,7 @@ fn main() {
             workers: None,
             os_pin: false,
         };
+        let counters_before = metrics::global().snapshot();
         let arm_start = Instant::now();
         let exec = Executor::with_cfg(Some(&view), &placement, cfg);
         let arm_us = arm_start.elapsed().as_secs_f64() * 1e6;
@@ -149,6 +156,7 @@ fn main() {
             arm_us,
             breakeven_calls
         );
+        drop(exec);
         platforms.push(Platform {
             preset: spec.name.clone(),
             contexts: view.num_hwcs(),
@@ -158,6 +166,7 @@ fn main() {
             persistent_us_per_call: persistent_us,
             speedup,
             breakeven_calls,
+            metrics: metrics::global().snapshot().delta(&counters_before),
         });
     }
 

@@ -35,8 +35,10 @@ use mctop_place::{
     Policy, //
 };
 use mctop_runtime::{
+    metrics,
     ExecCfg,
-    Executor, //
+    Executor,
+    MetricsSnapshot, //
 };
 use mctop_sort::simd::{
     self,
@@ -77,6 +79,10 @@ struct Platform {
     merge_phase_speedup: f64,
     /// End-to-end request throughput, SIMD over scalar.
     simd_vs_scalar_rps: f64,
+    /// Runtime counter delta over this platform's sustained windows,
+    /// both kernel modes included (schema in docs/OBSERVABILITY.md;
+    /// park/unpark counts are timing-dependent).
+    metrics: MetricsSnapshot,
 }
 
 #[derive(Serialize)]
@@ -338,12 +344,15 @@ fn main() {
             workers: None,
             os_pin: false,
         };
+        let counters_before = metrics::global().snapshot();
         let exec = Executor::with_cfg(Some(&view), &placement, cfg);
 
         let modes: Vec<Mode> = [simd::scalar(), simd::auto()]
             .into_iter()
             .map(|table| run_mode(&exec, &view, &ins, table, duration_ms, batch, 0xC0FFEE))
             .collect();
+        drop(exec);
+        let counters = metrics::global().snapshot().delta(&counters_before);
         let merge_phase_speedup = modes[1].merge_phase_melems_s / modes[0].merge_phase_melems_s;
         let simd_vs_scalar_rps = modes[1].rps / modes[0].rps;
         eprintln!(
@@ -366,6 +375,7 @@ fn main() {
             modes,
             merge_phase_speedup,
             simd_vs_scalar_rps,
+            metrics: counters,
         });
     }
 

@@ -152,7 +152,7 @@ impl AllocPlan {
             })
             .collect();
 
-        Ok(AllocPlan {
+        let plan = AllocPlan {
             policy: policy.clone(),
             machine: view.name.clone(),
             bytes_per_worker,
@@ -160,7 +160,17 @@ impl AllocPlan {
             nodes: view.num_nodes(),
             arenas,
             saturation,
-        })
+        };
+        // Observability: every resolved plan lands in the process-global
+        // runtime counters (see `mctop_runtime::metrics`).
+        let pages_per_node: Vec<u64> = plan
+            .node_totals()
+            .iter()
+            .map(|&(_, pages, _)| pages as u64)
+            .collect();
+        mctop_runtime::metrics::global()
+            .record_alloc_plan(plan.arenas.len() as u64, &pages_per_node);
+        Ok(plan)
     }
 
     /// Total pages and bytes per arena stripe on every node of the

@@ -81,6 +81,10 @@ QUERIES:
     alloc-plan <policy> [n]     resolved memory plan for n RR_CORE-placed
                                 workers (default: all contexts); policies:
                                 local, interleave, bw, on-nodes:<ids>
+    metrics                     run a deterministic workload through the
+                                instrumented runtime layers and print the
+                                counter snapshot as JSON (schema in
+                                docs/OBSERVABILITY.md)
 ";
 
 fn main() -> ExitCode {

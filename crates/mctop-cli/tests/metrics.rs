@@ -1,0 +1,103 @@
+//! Golden tests for `mct query metrics`: the JSON counter snapshot of
+//! the deterministic observability workload is pinned byte-for-byte
+//! against `tests/golden_metrics/`.
+//!
+//! Regenerate after an intentional counter or schema change with
+//! `MCT_UPDATE_GOLDEN=1 cargo test -p mctop-cli --test metrics`.
+
+use std::path::PathBuf;
+use std::process::{
+    Command,
+    Output, //
+};
+
+/// One small dual-socket machine and one 8-socket machine, so the
+/// goldens pin both a flat and a deep steal-distance histogram.
+const PLATFORMS: &[&str] = &["ivy", "westmere"];
+
+fn mct(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mct"))
+        .args(args)
+        .output()
+        .expect("mct runs")
+}
+
+fn golden_path(machine: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden_metrics")
+        .join(format!("{machine}.json"))
+}
+
+/// Minimal JSON number extraction for schema assertions: finds
+/// `"field": N` and returns N.
+fn field(json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field {name} missing from:\n{json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("field {name} is not a number"))
+}
+
+#[test]
+fn metrics_matches_goldens() {
+    let update = std::env::var_os("MCT_UPDATE_GOLDEN").is_some();
+    for machine in PLATFORMS {
+        let out = mct(&["query", machine, "metrics"]);
+        assert!(
+            out.status.success(),
+            "{machine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = String::from_utf8(out.stdout).expect("utf-8 snapshot");
+        let path = golden_path(machine);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing golden {}", path.display()));
+        assert_eq!(
+            got,
+            want,
+            "{machine} metrics drifted from {} \
+             (MCT_UPDATE_GOLDEN=1 to regenerate)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn steal_histogram_sums_to_total_steals() {
+    for machine in PLATFORMS {
+        let out = mct(&["query", machine, "metrics"]);
+        assert!(out.status.success());
+        let json = String::from_utf8(out.stdout).expect("utf-8 snapshot");
+        let total = field(&json, "steals_total");
+        let sum = field(&json, "steals_same_socket")
+            + field(&json, "steals_one_hop")
+            + field(&json, "steals_multi_hop")
+            + field(&json, "steals_unclassified");
+        assert_eq!(sum, total, "{machine}: histogram does not sum");
+        assert!(total > 0, "{machine}: workload recorded no steals");
+        // The deterministic workload exercises every layer.
+        assert!(field(&json, "tasks") > 0);
+        assert_eq!(field(&json, "tasks"), field(&json, "mailbox_hits"));
+        assert!(field(&json, "runs") > 0);
+        assert!(field(&json, "plans_resolved") > 0);
+        // Timing-dependent counters are zeroed in the printed view.
+        assert_eq!(field(&json, "parks"), 0);
+        assert_eq!(field(&json, "unparks"), 0);
+    }
+}
+
+#[test]
+fn metrics_rejects_extra_arguments() {
+    let out = mct(&["query", "ivy", "metrics", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -78,7 +78,13 @@ use mctop_place::{
 };
 
 use crate::host;
+use crate::metrics::{
+    self,
+    Metrics,
+    StealClass, //
+};
 use crate::steal::{
+    steal_classes_with_view,
     steal_queues_with_order,
     steal_queues_with_view,
     StealOrder,
@@ -174,6 +180,9 @@ struct Shared {
     next_wake: AtomicUsize,
     sleeps: Vec<WorkerSleep>,
     shutdown: AtomicBool,
+    /// Observability buckets (the process-global handle unless the
+    /// executor was armed with [`Executor::with_metrics`]).
+    metrics: Arc<Metrics>,
 }
 
 impl Shared {
@@ -193,6 +202,7 @@ impl Shared {
     }
 
     fn push_stealable(&self, task: Task) {
+        self.metrics.stealable_push();
         let i = self.next_injector.fetch_add(1, Ordering::Relaxed) % self.injectors.len();
         self.injectors[i].push(task);
         // Wake one parked worker if there is one (lowest latency to
@@ -219,6 +229,7 @@ impl Shared {
     }
 
     fn push_targeted(&self, worker: usize, task: Task) {
+        self.metrics.targeted_push();
         self.mailboxes[worker].push(task);
         self.bump(worker);
     }
@@ -238,8 +249,11 @@ fn injector_take(injector: &Injector<Task>) -> Option<Task> {
 /// One worker's search for work, in mailbox → deques → injectors order.
 fn next_task(shared: &Shared, idx: usize, queue: &StealPool<Task>) -> Option<Task> {
     if let Some(task) = injector_take(&shared.mailboxes[idx]) {
+        shared.metrics.mailbox_hit();
         return Some(task);
     }
+    // Local pops and steals are recorded inside the pool (it knows the
+    // victim distance classes).
     if let Some((task, _src)) = queue.next() {
         return Some(task);
     }
@@ -247,10 +261,16 @@ fn next_task(shared: &Shared, idx: usize, queue: &StealPool<Task>) -> Option<Tas
         let injector = &shared.injectors[i];
         // Batch from the home socket (surplus lands in our deque, where
         // neighbours steal it latency-first); single steals elsewhere.
+        // The batch refill records its own injector hit; the surplus
+        // shows up later as local-deque hits or steals.
         let got = if rank == 0 {
             queue.steal_batch_from(injector)
         } else {
-            injector_take(injector)
+            let got = injector_take(injector);
+            if got.is_some() {
+                shared.metrics.remote_injector_hit();
+            }
+            got
         };
         if got.is_some() {
             return got;
@@ -289,11 +309,17 @@ fn worker_loop(shared: Arc<Shared>, idx: usize, queue: StealPool<Task>, pin: Opt
             // timeout is purely a defensive backstop (an idle team
             // costs ~2 wakeups/s/worker, not a poll loop).
             g.parked = true;
-            let (mut g, _timeout) = my
+            shared.metrics.parked();
+            let (mut g, timeout) = my
                 .cv
                 .wait_timeout(g, Duration::from_millis(500))
                 .unwrap_or_else(|e| e.into_inner());
             g.parked = false;
+            if !timeout.timed_out() {
+                // Woken by a push or shutdown bump, not the defensive
+                // backstop timer.
+                shared.metrics.unparked();
+            }
         }
     }
 }
@@ -364,10 +390,13 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
+        self.shared.metrics.task_spawned();
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
+        let metrics = Arc::clone(&self.shared.metrics);
         let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                metrics.task_panicked();
                 let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
                 slot.get_or_insert(payload);
             }
@@ -415,13 +444,33 @@ impl Executor {
         Self::with_cfg(None, placement, ExecCfg::default())
     }
 
-    /// Arms an executor with explicit configuration.
+    /// Arms an executor with explicit configuration. Counters are
+    /// recorded into the process-global [`metrics::global`] handle; use
+    /// [`Executor::with_metrics`] to record into a private one.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.workers` is zero or exceeds the placement
     /// capacity.
     pub fn with_cfg(view: Option<&TopoView>, placement: &Placement, cfg: ExecCfg) -> Executor {
+        Self::with_metrics(view, placement, cfg, Arc::clone(metrics::global()))
+    }
+
+    /// Like [`Executor::with_cfg`], but records observability counters
+    /// into the given [`Metrics`] handle instead of the process-global
+    /// one — this is how tests and benchmarks get isolated counts
+    /// (`Metrics::handle()` returns a fresh zeroed instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero or exceeds the placement
+    /// capacity.
+    pub fn with_metrics(
+        view: Option<&TopoView>,
+        placement: &Placement,
+        cfg: ExecCfg,
+        metrics: Arc<Metrics>,
+    ) -> Executor {
         let capacity = placement.capacity();
         let n = cfg.workers.unwrap_or(capacity);
         assert!(n > 0 && n <= capacity, "worker count out of range");
@@ -475,11 +524,22 @@ impl Executor {
             })
             .collect();
 
-        let queues: Vec<StealPool<Task>> = match view {
+        let mut queues: Vec<StealPool<Task>> = match view {
             Some(v) => steal_queues_with_view(v, &hwcs),
             None => steal_queues_with_order(StealOrder::sequential(n)),
         };
+        // Victim distance classes for the steal histogram: derived from
+        // the view's socket map when we have one, otherwise every steal
+        // lands in the `unclassified` bucket.
+        let classes: Vec<Vec<StealClass>> = match view {
+            Some(v) => steal_classes_with_view(v, &hwcs),
+            None => vec![vec![StealClass::Unclassified; n]; n],
+        };
+        for (queue, row) in queues.iter_mut().zip(classes) {
+            queue.attach_metrics(Arc::clone(&metrics), row);
+        }
 
+        metrics.exec_armed();
         let shared = Arc::new(Shared {
             ctxs,
             mailboxes: (0..n).map(|_| Injector::new()).collect(),
@@ -489,6 +549,7 @@ impl Executor {
             next_wake: AtomicUsize::new(0),
             sleeps: (0..n).map(|_| WorkerSleep::new()).collect(),
             shutdown: AtomicBool::new(false),
+            metrics,
         });
 
         let os_pin = cfg.os_pin && placement.pins();
@@ -532,6 +593,32 @@ impl Executor {
     /// of them completed. A task panic is propagated to the caller
     /// after the remaining tasks finish.
     ///
+    /// ```
+    /// use mctop_place::{PlaceOpts, Placement, Policy};
+    /// use mctop_runtime::{ExecCfg, Executor};
+    ///
+    /// let spec = mcsim::presets::synthetic_small();
+    /// let mut prober = mctop::backend::SimProber::noiseless(&spec);
+    /// let topo = mctop::infer(&mut prober, &mctop::ProbeConfig::fast()).unwrap();
+    /// let view = mctop::view::TopoView::new(std::sync::Arc::new(topo));
+    /// let placement =
+    ///     Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(2)).unwrap();
+    /// let exec = Executor::with_cfg(
+    ///     Some(&view),
+    ///     &placement,
+    ///     ExecCfg { workers: None, os_pin: false },
+    /// );
+    ///
+    /// // Tasks may borrow the caller's stack; the scope waits for all.
+    /// let mut out = vec![0u64; 4];
+    /// exec.scope(|s| {
+    ///     for (i, slot) in out.iter_mut().enumerate() {
+    ///         s.spawn(move || *slot = (i as u64) * 10);
+    ///     }
+    /// });
+    /// assert_eq!(out, vec![0, 10, 20, 30]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the executor was explicitly shut down — there are no
@@ -542,6 +629,7 @@ impl Executor {
             !self.shared.shutdown.load(Ordering::Acquire),
             "scope on a shut-down executor"
         );
+        self.shared.metrics.scope_opened();
         let state = Arc::new(ScopeState::new());
         let scope = Scope {
             shared: &self.shared,
@@ -644,11 +732,20 @@ impl Executor {
     /// Gracefully re-arms the executor over a new placement (e.g.
     /// after an OpenMP binding-policy switch): outstanding tasks
     /// drain, the old workers exit, and a fresh set is pinned to the
-    /// new placement's slots. The original `ExecCfg` is kept.
+    /// new placement's slots. The original `ExecCfg` and [`Metrics`]
+    /// handle are kept; a rearm bumps `rearms` and, because a fresh
+    /// worker team is armed, `arms` as well.
     pub fn rearm(&mut self, view: Option<&TopoView>, placement: &Placement) {
         let cfg = self.cfg;
+        let metrics = Arc::clone(&self.shared.metrics);
         self.shutdown();
-        *self = Executor::with_cfg(view, placement, cfg);
+        metrics.exec_rearmed();
+        *self = Executor::with_metrics(view, placement, cfg, metrics);
+    }
+
+    /// The metrics handle this executor records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
     }
 
     /// Graceful shutdown: workers finish everything already queued,

@@ -19,12 +19,20 @@
 //! - [`steal`]: topology-aware work stealing (Section 5): idle workers
 //!   steal from the victim that is closest in communication latency
 //!   first;
+//! - [`metrics`]: lock-free runtime observability — relaxed-ordering
+//!   counter buckets for executor traffic (dispatch sources, steals by
+//!   victim distance, park/unpark churn), prober activity and alloc
+//!   plans, with `snapshot()`/`reset()`/`delta()` and a stable serde
+//!   serialization (see `docs/OBSERVABILITY.md`);
 //! - [`host`]: the shared host-CPU clamp (bind only when the context
 //!   exists on the host).
+
+#![deny(missing_docs)]
 
 pub mod barrier;
 pub mod executor;
 pub mod host;
+pub mod metrics;
 pub mod pool;
 pub mod steal;
 
@@ -34,6 +42,11 @@ pub use executor::{
     Executor,
     Scope,
     WorkerCtx, //
+};
+pub use metrics::{
+    Metrics,
+    MetricsSnapshot,
+    StealClass, //
 };
 pub use pool::WorkerPool;
 pub use steal::{

@@ -7,6 +7,8 @@
 //! [`steal_queues`] builds a deque-per-worker set of handles — each
 //! handle is moved into its worker thread — that follow them.
 
+use std::sync::Arc;
+
 use crossbeam_deque::{
     Injector,
     Steal,
@@ -15,6 +17,11 @@ use crossbeam_deque::{
 };
 use mctop::view::TopoView;
 use mctop::Mctop;
+
+use crate::metrics::{
+    Metrics,
+    StealClass, //
+};
 
 /// Per-worker victim orders derived from communication latencies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +83,34 @@ impl StealOrder {
     }
 }
 
+/// Classifies every worker's distance to every other worker for the
+/// steal-distance histogram of [`crate::metrics`]: same socket
+/// (including SMT siblings), one interconnect hop, or two-plus hops.
+/// `classes[i][j]` is worker `i`'s class for victim `j` (`SameSocket`
+/// on the diagonal, vacuously).
+pub fn steal_classes_with_view(view: &TopoView, hwcs: &[usize]) -> Vec<Vec<StealClass>> {
+    let sockets: Vec<usize> = hwcs.iter().map(|&h| view.socket_of(h)).collect();
+    sockets
+        .iter()
+        .map(|&si| {
+            sockets
+                .iter()
+                .map(|&sj| {
+                    if si == sj {
+                        StealClass::SameSocket
+                    } else {
+                        match view.socket_hops(si, sj) {
+                            0 | 1 => StealClass::OneHop,
+                            usize::MAX => StealClass::Unclassified,
+                            _ => StealClass::MultiHop,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// One worker's end of the work-stealing structure. Owned by (moved
 /// into) its worker thread; the stealers inside reference every other
 /// worker's queue.
@@ -84,6 +119,12 @@ pub struct StealPool<T> {
     local: Deque<T>,
     stealers: Vec<Stealer<T>>,
     victims: Vec<usize>,
+    /// Optional observability: when attached, local pops and steals
+    /// are recorded into these buckets ([`StealPool::attach_metrics`]).
+    metrics: Option<Arc<Metrics>>,
+    /// Per-victim distance classes, indexed by worker id (parallel to
+    /// `stealers`, not `victims`).
+    classes: Vec<StealClass>,
 }
 
 /// Where a work item came from.
@@ -101,6 +142,25 @@ impl<T> StealPool<T> {
         self.id
     }
 
+    /// Attaches a metrics handle: from here on, local pops, batch
+    /// refills and steals through this pool are recorded (steals into
+    /// the distance bucket `classes[victim]` — one class per worker,
+    /// e.g. from [`steal_classes_with_view`]). Detached pools record
+    /// nothing and cost nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` does not have one entry per worker.
+    pub fn attach_metrics(&mut self, metrics: Arc<Metrics>, classes: Vec<StealClass>) {
+        assert_eq!(
+            classes.len(),
+            self.stealers.len(),
+            "one steal class per worker required"
+        );
+        self.metrics = Some(metrics);
+        self.classes = classes;
+    }
+
     /// Pushes work onto the local queue.
     pub fn push(&self, item: T) {
         self.local.push(item);
@@ -114,7 +174,12 @@ impl<T> StealPool<T> {
     pub fn steal_batch_from(&self, injector: &Injector<T>) -> Option<T> {
         loop {
             match injector.steal_batch_and_pop(&self.local) {
-                Steal::Success(item) => return Some(item),
+                Steal::Success(item) => {
+                    if let Some(m) = &self.metrics {
+                        m.injector_hit();
+                    }
+                    return Some(item);
+                }
                 Steal::Empty => return None,
                 Steal::Retry => continue,
             }
@@ -125,12 +190,20 @@ impl<T> StealPool<T> {
     /// latency order.
     pub fn next(&self) -> Option<(T, Source)> {
         if let Some(item) = self.local.pop() {
+            if let Some(m) = &self.metrics {
+                m.local_deque_hit();
+            }
             return Some((item, Source::Local));
         }
         for &v in &self.victims {
             loop {
                 match self.stealers[v].steal() {
-                    Steal::Success(item) => return Some((item, Source::Stolen(v))),
+                    Steal::Success(item) => {
+                        if let Some(m) = &self.metrics {
+                            m.steal(self.classes[v]);
+                        }
+                        return Some((item, Source::Stolen(v)));
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -165,6 +238,8 @@ pub fn steal_queues_with_order<T>(order: StealOrder) -> Vec<StealPool<T>> {
             local,
             stealers: stealers.clone(),
             victims: order.victims(id).to_vec(),
+            metrics: None,
+            classes: Vec::new(),
         })
         .collect()
 }

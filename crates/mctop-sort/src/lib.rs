@@ -27,6 +27,8 @@
 //! - [`model`]: the Fig. 9 cost model that regenerates the paper's
 //!   per-platform time breakdowns over the simulated machines.
 
+#![deny(missing_docs)]
+
 pub mod bitonic;
 pub mod merge;
 pub mod model;

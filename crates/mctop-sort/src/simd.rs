@@ -67,6 +67,22 @@ pub fn scalar() -> &'static KernelTable {
 /// The widest merge kernel this host supports, detected once per
 /// process. Scalar when the `simd` feature is off or the host is not
 /// x86-64.
+///
+/// Whatever kernel detection picks, its output is byte-identical to
+/// the scalar merge:
+///
+/// ```
+/// use mctop_sort::simd;
+///
+/// let table = simd::auto();
+/// assert!(table.width >= 4);
+///
+/// let a = vec![1u32, 3, 5, 7, 9, 11, 13, 15];
+/// let b = vec![2u32, 4, 6, 8, 10, 12, 14, 16];
+/// let mut out = vec![0u32; a.len() + b.len()];
+/// (table.merge)(&a, &b, &mut out);
+/// assert_eq!(out, (1..=16).collect::<Vec<u32>>());
+/// ```
 pub fn auto() -> &'static KernelTable {
     static AUTO: OnceLock<&'static KernelTable> = OnceLock::new();
     AUTO.get_or_init(detect)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Schema check for `mct query <desc> metrics` output.
+
+Reads a MetricsSnapshot JSON document (path argument, or stdin when no
+argument is given) and asserts it matches the schema documented in
+docs/OBSERVABILITY.md: the three counter groups with exactly the
+documented fields, non-negative integer values, a steal-distance
+histogram that sums to `steals_total`, and an integer
+`stripes_per_node` list. CI pipes the CLI smoke output through this so
+the handbook and the binary cannot drift apart silently.
+
+Exit code 0 when the document conforms, 1 otherwise.
+"""
+
+import json
+import sys
+
+EXECUTOR_FIELDS = [
+    "arms",
+    "rearms",
+    "scopes",
+    "tasks",
+    "panics",
+    "targeted_pushes",
+    "stealable_pushes",
+    "mailbox_hits",
+    "local_deque_hits",
+    "injector_hits",
+    "remote_injector_hits",
+    "steals_same_socket",
+    "steals_one_hop",
+    "steals_multi_hop",
+    "steals_unclassified",
+    "steals_total",
+    "parks",
+    "unparks",
+]
+
+PROBER_FIELDS = [
+    "runs",
+    "pairs",
+    "probes",
+    "pilot_probes",
+    "refined_pairs",
+    "retries",
+]
+
+ALLOC_FIELDS = [
+    "plans_resolved",
+    "arenas_planned",
+    "pages_planned",
+    "stripes_per_node",
+]
+
+STEAL_BUCKETS = [
+    "steals_same_socket",
+    "steals_one_hop",
+    "steals_multi_hop",
+    "steals_unclassified",
+]
+
+
+def is_counter(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_group(snapshot, group, fields, errors):
+    obj = snapshot.get(group)
+    if not isinstance(obj, dict):
+        errors.append(f"missing or non-object group `{group}`")
+        return None
+    if sorted(obj) != sorted(fields):
+        extra = sorted(set(obj) - set(fields))
+        missing = sorted(set(fields) - set(obj))
+        errors.append(
+            f"`{group}` fields disagree with docs/OBSERVABILITY.md: "
+            f"missing {missing}, undocumented {extra}"
+        )
+    for name in fields:
+        if name not in obj:
+            continue
+        value = obj[name]
+        if name == "stripes_per_node":
+            if not isinstance(value, list) or not all(is_counter(v) for v in value):
+                errors.append(f"`{group}.{name}` is not a list of counters: {value!r}")
+        elif not is_counter(value):
+            errors.append(f"`{group}.{name}` is not a non-negative integer: {value!r}")
+    return obj
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_metrics_schema.py [snapshot.json]", file=sys.stderr)
+        return 1
+    source = open(sys.argv[1], encoding="utf-8") if len(sys.argv) == 2 else sys.stdin
+    try:
+        snapshot = json.load(source)
+    except json.JSONDecodeError as err:
+        print(f"check_metrics_schema: not valid JSON: {err}", file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(snapshot, dict) or sorted(snapshot) != [
+        "alloc",
+        "executor",
+        "prober",
+    ]:
+        errors.append("top level must be exactly {executor, prober, alloc}")
+    executor = check_group(snapshot, "executor", EXECUTOR_FIELDS, errors)
+    check_group(snapshot, "prober", PROBER_FIELDS, errors)
+    check_group(snapshot, "alloc", ALLOC_FIELDS, errors)
+
+    if executor and all(name in executor for name in STEAL_BUCKETS + ["steals_total"]):
+        bucket_sum = sum(executor[name] for name in STEAL_BUCKETS)
+        if bucket_sum != executor["steals_total"]:
+            errors.append(
+                "steal-distance histogram does not sum to steals_total: "
+                f"{bucket_sum} != {executor['steals_total']}"
+            )
+
+    for err in errors:
+        print(f"check_metrics_schema: {err}", file=sys.stderr)
+    print(f"checked metrics snapshot: {len(errors)} schema error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
