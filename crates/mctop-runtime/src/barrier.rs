@@ -4,11 +4,15 @@
 //! libmctop spin-based" so cores never leave their maximum DVFS state
 //! (Section 3.5). This is that barrier.
 
-use std::sync::atomic::{
+// Atomics and the spin hint come from the cfg-switched facade: plain
+// `std` by default, tracked model-checker shims under
+// `--features model-check` (see `crate::sync`).
+use crate::sync::atomic::{
     AtomicBool,
     AtomicUsize,
     Ordering, //
 };
+use crate::sync::hint;
 
 /// A reusable spin barrier for a fixed number of participants.
 ///
@@ -64,7 +68,7 @@ impl SpinBarrier {
             self.sense.store(!sense, Ordering::Release);
         } else {
             while self.sense.load(Ordering::Acquire) == sense {
-                std::hint::spin_loop();
+                hint::spin_loop();
             }
         }
     }

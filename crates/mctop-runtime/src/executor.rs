@@ -54,23 +54,9 @@ use std::panic::{
     resume_unwind,
     AssertUnwindSafe, //
 };
-use std::sync::atomic::{
-    AtomicBool,
-    AtomicUsize,
-    Ordering, //
-};
-use std::sync::{
-    Arc,
-    Condvar,
-    Mutex, //
-};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_deque::{
-    Injector,
-    Steal, //
-};
 use mctop::view::TopoView;
 use mctop_place::{
     PinHandle,
@@ -89,6 +75,24 @@ use crate::steal::{
     steal_queues_with_view,
     StealOrder,
     StealPool, //
+};
+// Every synchronization primitive comes from the cfg-switched facade:
+// plain `std`/`crossbeam` re-exports by default, tracked model-checker
+// shims under `--features model-check` (see `crate::sync`).
+use crate::sync::atomic::{
+    AtomicBool,
+    AtomicUsize,
+    Ordering, //
+};
+use crate::sync::deque::{
+    Injector,
+    Steal, //
+};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{
+    thread,
+    Condvar,
+    Mutex, //
 };
 
 /// What a worker knows about itself inside a task.
@@ -180,9 +184,79 @@ struct Shared {
     next_wake: AtomicUsize,
     sleeps: Vec<WorkerSleep>,
     shutdown: AtomicBool,
+    /// Scopes currently open. Paired with `shutdown` in a SeqCst
+    /// Dekker handshake: [`ScopeTicket::acquire`] increments *then*
+    /// loads `shutdown`, [`Executor::shutdown`] stores *then* the
+    /// workers load both — so a scope either observes the shutdown and
+    /// backs out, or the workers observe the scope and keep serving
+    /// until it closes. Workers only exit when `shutdown` is set *and*
+    /// this is zero.
+    active_scopes: AtomicUsize,
     /// Observability buckets (the process-global handle unless the
     /// executor was armed with [`Executor::with_metrics`]).
     metrics: Arc<Metrics>,
+}
+
+/// Test-only fault injection for the model checker's negative tests:
+/// deliberately break a protocol step and assert the explorer finds
+/// the resulting bug with a replayable trace.
+#[cfg(feature = "model-check")]
+pub mod faults {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOST_WAKEUP: AtomicBool = AtomicBool::new(false);
+    static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Whether the lost-wakeup fault is active (checked by
+    /// `Shared::bump`).
+    pub(super) fn lost_wakeup_active() -> bool {
+        LOST_WAKEUP.load(Ordering::Relaxed)
+    }
+
+    /// While held, `Shared::bump` notifies *without* bumping the
+    /// epoch — re-introducing the classic lost-wakeup bug the epoch
+    /// protocol exists to prevent. Tests injecting faults serialize on
+    /// an internal lock so concurrent tests cannot observe each
+    /// other's faults.
+    pub struct BrokenBumpGuard {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    /// Serializes the caller against fault-injecting tests without
+    /// activating any fault: model tests in one binary run in
+    /// parallel, and a fault left active by a concurrent test would
+    /// leak into their executions.
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Activates the lost-wakeup fault until the guard drops.
+    pub fn break_bump() -> BrokenBumpGuard {
+        let serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        LOST_WAKEUP.store(true, Ordering::Relaxed);
+        BrokenBumpGuard { _serial: serial }
+    }
+
+    impl Drop for BrokenBumpGuard {
+        fn drop(&mut self) {
+            LOST_WAKEUP.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Whether the injected lost-wakeup fault is active (constant `false`
+/// outside model-check builds; the branch folds away).
+#[inline(always)]
+fn fault_lost_wakeup() -> bool {
+    #[cfg(feature = "model-check")]
+    {
+        faults::lost_wakeup_active()
+    }
+    #[cfg(not(feature = "model-check"))]
+    {
+        false
+    }
 }
 
 impl Shared {
@@ -196,9 +270,17 @@ impl Shared {
                 .state
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
-            g.epoch = g.epoch.wrapping_add(1);
+            if !fault_lost_wakeup() {
+                g.epoch = g.epoch.wrapping_add(1);
+            }
         }
         self.sleeps[worker].cv.notify_all();
+    }
+
+    /// Whether the workers are allowed to exit: shutdown requested and
+    /// no scope still open (SeqCst pairs with [`ScopeTicket::acquire`]).
+    fn draining_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) && self.active_scopes.load(Ordering::SeqCst) == 0
     }
 
     fn push_stealable(&self, task: Task) {
@@ -286,8 +368,11 @@ fn worker_loop(shared: Arc<Shared>, idx: usize, queue: StealPool<Task>, pin: Opt
     let my = &shared.sleeps[idx];
     loop {
         let epoch = { my.state.lock().unwrap_or_else(|e| e.into_inner()).epoch };
-        if shared.shutdown.load(Ordering::Acquire) {
-            // Graceful exit: drain everything already queued first.
+        if shared.draining_down() {
+            // Graceful exit: shutdown was requested, no scope is still
+            // open (a racing `try_scope` either lost and returned the
+            // error, or won and we keep serving until its ticket
+            // drops), so drain everything already queued and leave.
             while let Some(task) = next_task(&shared, idx, &queue) {
                 task();
             }
@@ -302,12 +387,14 @@ fn worker_loop(shared: Arc<Shared>, idx: usize, queue: StealPool<Task>, pin: Opt
             continue;
         }
         let mut g = my.state.lock().unwrap_or_else(|e| e.into_inner());
-        if g.epoch == epoch && !shared.shutdown.load(Ordering::Acquire) {
-            // Nothing arrived since the scan started; park. Every push
-            // that this worker must see bumps our epoch under this
-            // lock, so a plain wait cannot lose a wakeup — the long
-            // timeout is purely a defensive backstop (an idle team
-            // costs ~2 wakeups/s/worker, not a poll loop).
+        if g.epoch == epoch {
+            // Nothing arrived since the scan started; park. Every
+            // event this worker must see — a push, a shutdown, the
+            // last scope ticket dropping during shutdown — bumps our
+            // epoch under this lock, so a plain wait cannot lose a
+            // wakeup; the long timeout is purely a defensive backstop
+            // (an idle team costs ~2 wakeups/s/worker, not a poll
+            // loop).
             g.parked = true;
             shared.metrics.parked();
             let (mut g, timeout) = my
@@ -340,6 +427,61 @@ impl ScopeState {
             panic: Mutex::new(None),
             done: Mutex::new(()),
             cv: Condvar::new(),
+        }
+    }
+}
+
+/// Error returned by [`Executor::try_scope`] when the executor has
+/// been shut down: its workers are gone (or leaving), so spawned tasks
+/// could never run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorShutdown;
+
+impl fmt::Display for ExecutorShutdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("executor has been shut down")
+    }
+}
+
+impl std::error::Error for ExecutorShutdown {}
+
+/// RAII half of the shutdown-vs-scope handshake: while a ticket is
+/// live, workers refuse to exit even if `shutdown` was requested.
+struct ScopeTicket<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> ScopeTicket<'a> {
+    /// Registers an open scope, unless shutdown already started.
+    ///
+    /// Increment-then-check against the shutdown flag (both SeqCst):
+    /// in every interleaving with [`Executor::shutdown`]'s
+    /// store-then-bump, either this sees the store (backs out, caller
+    /// gets [`ExecutorShutdown`]) or the workers' exit check
+    /// ([`Shared::draining_down`]) sees the increment and the team
+    /// outlives the scope. Checking before incrementing would leave a
+    /// window where both sides proceed and the scope's tasks are
+    /// stranded — `tests/model_check.rs` explores exactly this race.
+    fn acquire(shared: &'a Shared) -> Option<ScopeTicket<'a>> {
+        shared.active_scopes.fetch_add(1, Ordering::SeqCst);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let ticket = ScopeTicket { shared };
+            drop(ticket); // decrement + re-wake via the Drop impl
+            return None;
+        }
+        Some(ScopeTicket { shared })
+    }
+}
+
+impl Drop for ScopeTicket<'_> {
+    fn drop(&mut self) {
+        self.shared.active_scopes.fetch_sub(1, Ordering::SeqCst);
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // A shutdown waited for this scope: re-wake every worker
+            // so the exit check runs again.
+            for w in 0..self.shared.sleeps.len() {
+                self.shared.bump(w);
+            }
         }
     }
 }
@@ -416,7 +558,10 @@ impl<'scope> Scope<'scope> {
 /// per-socket injectors, per-worker deques, latency-ordered stealing.
 pub struct Executor {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    /// Worker handles, behind a lock so [`Executor::shutdown`] works
+    /// through `&self` (and can therefore race a `scope` from another
+    /// thread — the handshake the model checker verifies).
+    threads: Mutex<Vec<JoinHandle<()>>>,
     cfg: ExecCfg,
 }
 
@@ -549,6 +694,7 @@ impl Executor {
             next_wake: AtomicUsize::new(0),
             sleeps: (0..n).map(|_| WorkerSleep::new()).collect(),
             shutdown: AtomicBool::new(false),
+            active_scopes: AtomicUsize::new(0),
             metrics,
         });
 
@@ -559,7 +705,7 @@ impl Executor {
             .map(|(i, queue)| {
                 let shared = Arc::clone(&shared);
                 let pin = os_pin.then_some(hwcs[i]);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("mctop-exec-{i}"))
                     .spawn(move || worker_loop(shared, i, queue, pin))
                     .expect("spawn executor worker")
@@ -567,7 +713,7 @@ impl Executor {
             .collect();
         Executor {
             shared,
-            threads,
+            threads: Mutex::new(threads),
             cfg,
         }
     }
@@ -623,12 +769,32 @@ impl Executor {
     ///
     /// Panics if the executor was explicitly shut down — there are no
     /// workers left, so spawned tasks could never run and the scope
-    /// would hang instead.
+    /// would hang instead. Use [`Executor::try_scope`] for a
+    /// non-panicking variant (e.g. when racing a shutdown from another
+    /// thread is expected).
     pub fn scope<'scope, R>(&'scope self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
-        assert!(
-            !self.shared.shutdown.load(Ordering::Acquire),
-            "scope on a shut-down executor"
-        );
+        match self.try_scope(f) {
+            Ok(r) => r,
+            Err(ExecutorShutdown) => panic!("scope on a shut-down executor"),
+        }
+    }
+
+    /// Like [`Executor::scope`], but returns [`ExecutorShutdown`]
+    /// instead of panicking when the executor has been shut down.
+    ///
+    /// Safe against a *concurrent* [`Executor::shutdown`]: the scope
+    /// either loses the race and returns the error without having
+    /// spawned anything, or wins and every task it spawns runs to
+    /// completion before the workers exit (the shutdown-vs-spawn
+    /// handshake is exhaustively explored in `tests/model_check.rs`).
+    pub fn try_scope<'scope, R>(
+        &'scope self,
+        f: impl FnOnce(&Scope<'scope>) -> R,
+    ) -> Result<R, ExecutorShutdown> {
+        let ticket = match ScopeTicket::acquire(&self.shared) {
+            Some(t) => t,
+            None => return Err(ExecutorShutdown),
+        };
         self.shared.metrics.scope_opened();
         let state = Arc::new(ScopeState::new());
         let scope = Scope {
@@ -653,6 +819,7 @@ impl Executor {
                 .wait_timeout(g, Duration::from_millis(100))
                 .map_err(|e| e.into_inner());
         }
+        drop(ticket);
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(r) => {
@@ -660,7 +827,7 @@ impl Executor {
                 if let Some(payload) = slot.take() {
                     resume_unwind(payload);
                 }
-                r
+                Ok(r)
             }
         }
     }
@@ -748,14 +915,24 @@ impl Executor {
         &self.shared.metrics
     }
 
-    /// Graceful shutdown: workers finish everything already queued,
-    /// then exit and are joined. Idempotent; also runs on drop.
-    pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+    /// Graceful shutdown: workers finish everything already queued —
+    /// including every task of a scope that won the race against this
+    /// call — then exit and are joined. Idempotent, callable through
+    /// `&self` from any thread; also runs on drop. A `scope` that
+    /// starts after (or loses the race to) this call panics; a
+    /// [`Executor::try_scope`] returns [`ExecutorShutdown`].
+    pub fn shutdown(&self) {
+        // Store-then-bump pairs with `ScopeTicket::acquire`'s
+        // increment-then-load (both SeqCst): see that method.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         for w in 0..self.shared.sleeps.len() {
             self.shared.bump(w);
         }
-        for t in self.threads.drain(..) {
+        let drained: Vec<JoinHandle<()>> = {
+            let mut g = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+            g.drain(..).collect()
+        };
+        for t in drained {
             let _ = t.join();
         }
     }
@@ -936,7 +1113,7 @@ mod tests {
 
     #[test]
     fn shutdown_is_graceful_and_idempotent() {
-        let (mut exec, _v) = executor(2, Policy::ConHwc);
+        let (exec, _v) = executor(2, Policy::ConHwc);
         let out = exec.run(|ctx| ctx.id);
         assert_eq!(out, vec![0, 1]);
         exec.shutdown();
@@ -946,7 +1123,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scope on a shut-down executor")]
     fn scope_after_shutdown_fails_fast() {
-        let (mut exec, _v) = executor(2, Policy::ConHwc);
+        let (exec, _v) = executor(2, Policy::ConHwc);
         exec.shutdown();
         // No workers are left; hanging forever would be the only other
         // outcome.

@@ -35,11 +35,13 @@ pub mod host;
 pub mod metrics;
 pub mod pool;
 pub mod steal;
+pub mod sync;
 
 pub use barrier::SpinBarrier;
 pub use executor::{
     ExecCfg,
     Executor,
+    ExecutorShutdown,
     Scope,
     WorkerCtx, //
 };

@@ -56,12 +56,19 @@
 //! which thread owns it, and the relaxed-ordering caveats for
 //! cross-thread reads) are documented in `docs/OBSERVABILITY.md`.
 
-use std::sync::atomic::{
-    AtomicU64,
-    Ordering, //
-};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::sync::OnceLock;
+
+// The counters come from the facade's `counter` module, which is a
+// plain `std` `AtomicU64` in *both* personalities: metrics are
+// observational (relaxed, never read back for control flow), so the
+// model checker deliberately does not track them — tracking would
+// multiply the explored state space per recorded event without ever
+// finding a protocol bug. Model tests should record into a private
+// `Metrics::handle()`; the process-global handle above stays a `std`
+// `OnceLock` for the same reason.
+use crate::sync::counter::AtomicU64;
 
 use mctop::alg::probe::ProbeStats;
 use serde::{

@@ -13,10 +13,13 @@
 //! its determinism: results in worker order, `inputs[i]` to worker
 //! `i`) is unchanged.
 
-use std::sync::{
-    Arc,
-    OnceLock, //
-};
+use std::sync::Arc;
+
+// `OnceLock` comes from the cfg-switched facade: `std::sync::OnceLock`
+// by default, a tracked shim under `--features model-check` (the std
+// one would block losers of the init race in the OS, invisibly to the
+// model's scheduler — see `crate::sync`).
+use crate::sync::OnceLock;
 
 use mctop_place::Placement;
 

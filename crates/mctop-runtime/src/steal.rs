@@ -9,7 +9,10 @@
 
 use std::sync::Arc;
 
-use crossbeam_deque::{
+// Deques come from the cfg-switched facade: `crossbeam_deque`
+// re-exports by default, tracked model-checker wrappers under
+// `--features model-check` (see `crate::sync`).
+use crate::sync::deque::{
     Injector,
     Steal,
     Stealer,

@@ -1,0 +1,172 @@
+//! Shutdown edge cases over the two committed machine descriptions
+//! (`ivy`, `westmere`) at 1, 2 and 8 workers:
+//!
+//! - `shutdown` twice (and once more via `Drop`) is idempotent;
+//! - `shutdown` with every worker parked wakes and joins them all;
+//! - `rearm` after an explicit `shutdown` yields a working team;
+//! - `scope`/`try_scope` on a shut-down executor fail cleanly —
+//!   `Err(ExecutorShutdown)` from `try_scope`, a documented panic from
+//!   `scope` — and run zero tasks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mctop::view::TopoView;
+use mctop_place::{PlaceOpts, Placement, Policy};
+use mctop_runtime::metrics::Metrics;
+use mctop_runtime::{ExecCfg, Executor, ExecutorShutdown};
+
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// Counter assertions only hold with the `metrics` feature (default);
+/// the shutdown/rearm/error behavior is asserted in both configs.
+const METRICS: bool = cfg!(feature = "metrics");
+
+/// Runs `f` once per (committed desc, worker count) combination.
+fn for_each_config(f: impl Fn(&str, usize, Executor, Arc<Metrics>)) {
+    let reg = mctop::Registry::shipped();
+    for name in ["ivy", "westmere"] {
+        let view: Arc<TopoView> = reg.view(name).unwrap();
+        for &workers in &WORKERS {
+            let placement =
+                Placement::with_view(&view, Policy::ConHwc, PlaceOpts::threads(workers)).unwrap();
+            let metrics = Metrics::handle();
+            let exec = Executor::with_metrics(
+                Some(&view),
+                &placement,
+                ExecCfg {
+                    workers: Some(workers),
+                    os_pin: false,
+                },
+                Arc::clone(&metrics),
+            );
+            f(name, workers, exec, metrics);
+        }
+    }
+}
+
+fn count_tasks(exec: &Executor, n: usize) -> usize {
+    let hits = AtomicUsize::new(0);
+    exec.scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    hits.load(Ordering::Relaxed)
+}
+
+#[test]
+fn double_shutdown_is_idempotent() {
+    for_each_config(|name, workers, exec, _metrics| {
+        assert_eq!(count_tasks(&exec, workers), workers, "{name}/{workers}");
+        exec.shutdown();
+        exec.shutdown();
+        drop(exec); // third round via Drop
+    });
+}
+
+#[test]
+fn shutdown_with_parked_workers_joins_them_all() {
+    for_each_config(|name, workers, exec, metrics| {
+        // Run one scope, then wait until every worker has parked at
+        // least once (they go idle right after the scope drains).
+        assert_eq!(count_tasks(&exec, workers), workers, "{name}/{workers}");
+        if METRICS {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while (metrics.snapshot().executor.parks as usize) < workers {
+                assert!(
+                    Instant::now() < deadline,
+                    "{name}/{workers}: workers never parked (parks = {})",
+                    metrics.snapshot().executor.parks
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        } else {
+            // Without counters, give the team a moment to go idle so
+            // the shutdown below still exercises the parked path.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Must wake every parked worker and join; a lost shutdown
+        // wakeup would hang here (the harness timeout would trip).
+        exec.shutdown();
+    });
+}
+
+#[test]
+fn rearm_after_shutdown_yields_a_working_team() {
+    let reg = mctop::Registry::shipped();
+    for name in ["ivy", "westmere"] {
+        let view: Arc<TopoView> = reg.view(name).unwrap();
+        for &workers in &WORKERS {
+            let placement =
+                Placement::with_view(&view, Policy::ConHwc, PlaceOpts::threads(workers)).unwrap();
+            let metrics = Metrics::handle();
+            let mut exec = Executor::with_metrics(
+                Some(&view),
+                &placement,
+                ExecCfg {
+                    workers: Some(workers),
+                    os_pin: false,
+                },
+                Arc::clone(&metrics),
+            );
+            exec.shutdown();
+            // `rearm` is documented to work on an already-shut-down
+            // executor (it shuts down again, idempotently, first).
+            exec.rearm(Some(&view), &placement);
+            assert_eq!(count_tasks(&exec, workers), workers, "{name}/{workers}");
+            if METRICS {
+                assert_eq!(
+                    metrics.snapshot().executor.rearms,
+                    1,
+                    "{name}/{workers}: rearm recorded"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scope_after_shutdown_fails_cleanly_and_runs_nothing() {
+    for_each_config(|name, workers, exec, metrics| {
+        assert_eq!(count_tasks(&exec, workers), workers, "{name}/{workers}");
+        exec.shutdown();
+        let hits = AtomicUsize::new(0);
+        let r = exec.try_scope(|s| {
+            s.spawn(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(r, Err(ExecutorShutdown), "{name}/{workers}");
+        assert_eq!(
+            ExecutorShutdown.to_string(),
+            "executor has been shut down",
+            "stable operator-facing error text"
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 0, "{name}/{workers}");
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.scope(|s| {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }))
+        .expect_err("scope on a shut-down executor must panic");
+        assert_eq!(
+            panicked.downcast_ref::<&str>().copied(),
+            Some("scope on a shut-down executor"),
+            "{name}/{workers}"
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 0, "{name}/{workers}");
+        if METRICS {
+            assert_eq!(
+                metrics.snapshot().executor.tasks,
+                workers as u64,
+                "{name}/{workers}: only the pre-shutdown scope ran tasks"
+            );
+        }
+    });
+}

@@ -117,6 +117,17 @@ pub trait Prober {
     fn machine_name(&self) -> String {
         "unknown".into()
     }
+
+    /// Cumulative count of transient backend failures this prober has
+    /// absorbed by retrying internally (measurement-thread spawn
+    /// failures, short sample batches — see
+    /// [`crate::host::HostProber::measure_pair`]). The phase runners
+    /// fold per-phase deltas into [`ProbeStats::retries`], so absorbed
+    /// failures still show up in the cost accounting. Deterministic
+    /// backends never retry and keep the default.
+    fn backend_retries(&self) -> u64 {
+        0
+    }
 }
 
 /// Identity of an independent randomness stream of the collection
@@ -245,7 +256,9 @@ pub struct ProbeStats {
     /// Pairs re-measured with full repetitions by the adaptive
     /// refinement pass.
     pub refined_pairs: u64,
-    /// Pair-level retries due to unstable stdev.
+    /// Pair-level retries due to unstable stdev, plus transient
+    /// backend failures absorbed by retry ([`Prober::backend_retries`]
+    /// deltas, folded in per phase).
     pub retries: u64,
     /// Cycles spent inside probes (sum of all raw samples).
     pub sample_cycles: u64,
@@ -584,6 +597,7 @@ fn run_phase_inline<P: Prober>(
 ) -> Vec<Entry> {
     let mut entries = Vec::with_capacity(rounds.iter().map(Vec::len).sum());
     let mut buf = Vec::new();
+    let backend_before = prober.backend_retries();
     'rounds: for (r, round) in rounds.iter().enumerate() {
         for (i, &(a, b)) in round.iter().enumerate() {
             let (outcome, cycles) = measure_one(prober, cfg, kind, a, b, stats, &mut buf);
@@ -601,6 +615,7 @@ fn run_phase_inline<P: Prober>(
             }
         }
     }
+    stats.retries += prober.backend_retries().saturating_sub(backend_before);
     entries
 }
 
@@ -641,6 +656,7 @@ fn run_phase_threaded<P: Prober + Send>(
                     let mut local = ProbeStats::default();
                     let mut buf = Vec::new();
                     let mut round_cycles = vec![0u64; rounds.len()];
+                    let backend_before = prober.backend_retries();
                     for (r, round) in rounds.iter().enumerate() {
                         for (i, &(a, b)) in round.iter().enumerate() {
                             if i % jobs != w {
@@ -681,6 +697,7 @@ fn run_phase_threaded<P: Prober + Send>(
                             break;
                         }
                     }
+                    local.retries += prober.backend_retries().saturating_sub(backend_before);
                     (entries, local, round_cycles)
                 })
             })
@@ -830,6 +847,80 @@ mod tests {
         assert_eq!(stats.probes, stats.pairs * 5);
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.critical_cycles, stats.modeled_cycles());
+    }
+
+    /// A backend that reports one absorbed transient failure per sample
+    /// batch, exercising the per-phase fold of [`Prober::backend_retries`]
+    /// deltas into [`ProbeStats::retries`].
+    struct FlakyBackend<'a> {
+        inner: SimProber<'a>,
+        absorbed: u64,
+    }
+
+    impl Prober for FlakyBackend<'_> {
+        fn num_hwcs(&self) -> usize {
+            self.inner.num_hwcs()
+        }
+        fn num_nodes(&self) -> usize {
+            self.inner.num_nodes()
+        }
+        fn probe(&mut self, a: usize, b: usize) -> u32 {
+            self.inner.probe(a, b)
+        }
+        fn probe_batch(&mut self, a: usize, b: usize, out: &mut Vec<u32>, count: usize) {
+            self.absorbed += 1;
+            self.inner.probe_batch(a, b, out, count);
+        }
+        fn rdtsc_cost(&mut self) -> u32 {
+            self.inner.rdtsc_cost()
+        }
+        fn spin_duration(&mut self, ctxs: &[usize], iters: u64) -> u64 {
+            self.inner.spin_duration(ctxs, iters)
+        }
+        fn warmup(&mut self, ctx: usize) {
+            self.inner.warmup(ctx)
+        }
+        fn begin_stream(&mut self, stream: ProbeStream) {
+            self.inner.begin_stream(stream)
+        }
+        fn fork(&self) -> Option<Self> {
+            self.inner
+                .fork()
+                .map(|inner| FlakyBackend { inner, absorbed: 0 })
+        }
+        fn concurrent_pairs_interfere(&self) -> bool {
+            self.inner.concurrent_pairs_interfere()
+        }
+        fn backend_retries(&self) -> u64 {
+            self.absorbed
+        }
+    }
+
+    #[test]
+    fn backend_retries_fold_into_stats() {
+        let spec = presets::synthetic_small();
+        let cfg = ProbeConfig {
+            reps: 5,
+            ..ProbeConfig::fast()
+        };
+        let mk = || FlakyBackend {
+            inner: SimProber::noiseless(&spec),
+            absorbed: 0,
+        };
+        let mut p = mk();
+        let (_, stats) = collect(&mut p, &cfg).unwrap();
+        assert_eq!(
+            stats.retries,
+            p.backend_retries(),
+            "inline fold captures every absorbed failure"
+        );
+        assert_eq!(
+            stats.retries, stats.pairs,
+            "noiseless: exactly one batch (one absorbed failure) per pair"
+        );
+        // Threaded collection sums per-fork deltas into the same bucket.
+        let (_, par_stats) = collect_parallel(&mut mk(), &cfg, 3).unwrap();
+        assert_eq!(par_stats.retries, stats.retries);
     }
 
     #[test]

@@ -20,9 +20,21 @@ use std::sync::atomic::{
     Ordering, //
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::alg::probe::Prober;
+
+/// Extra attempts [`HostProber::measure_pair`] makes after a transient
+/// backend failure (measurement-thread spawn error, short batch).
+const MAX_BACKEND_RETRIES: u32 = 3;
+/// First retry backoff; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Deterministic backoff ceiling — keeps the worst-case stall per pair
+/// bounded (1 + 2 + 4 ms with the default budget).
+const BACKOFF_CAP: Duration = Duration::from_millis(4);
+
+/// Sentinel `phase` value aborting both measurement threads early.
+const PHASE_ABORT: u32 = u32::MAX;
 
 /// A [`Prober`] measuring the machine the process runs on.
 #[derive(Debug)]
@@ -34,6 +46,12 @@ pub struct HostProber {
     cache: Vec<u32>,
     cache_pair: (usize, usize),
     batch: usize,
+    /// Transient failures absorbed by [`HostProber::measure_pair`]
+    /// (surfaced through [`Prober::backend_retries`]).
+    backend_retries: u64,
+    /// Test hook: fail the next N measurement attempts.
+    #[cfg(test)]
+    fail_next: u32,
 }
 
 impl HostProber {
@@ -47,6 +65,9 @@ impl HostProber {
             cache: Vec::new(),
             cache_pair: (usize::MAX, usize::MAX),
             batch: 64,
+            backend_retries: 0,
+            #[cfg(test)]
+            fail_next: 0,
         })
     }
 
@@ -54,7 +75,17 @@ impl HostProber {
     /// Each round: thread `b` CASes the line (bringing it Modified in
     /// its caches), both threads synchronize on a spin barrier, thread
     /// `a` times its own CAS.
+    ///
+    /// One attempt, no retry; an empty vector means the measurement
+    /// threads could not be spawned. [`HostProber::measure_pair`] is
+    /// the fault-hardened path the [`Prober`] impl uses.
     pub fn measure_batch(&self, a: usize, b: usize, rounds: usize) -> Vec<u32> {
+        self.try_measure_batch(a, b, rounds).unwrap_or_default()
+    }
+
+    /// One measurement attempt; a thread-spawn failure (e.g. `EAGAIN`
+    /// under pid/memory pressure) is returned instead of panicking.
+    fn try_measure_batch(&self, a: usize, b: usize, rounds: usize) -> std::io::Result<Vec<u32>> {
         let line = Arc::new(AtomicU64::new(0));
         let phase = Arc::new(AtomicU32::new(0));
         let results = Arc::new(parking_lot::Mutex::new(Vec::with_capacity(rounds)));
@@ -62,55 +93,110 @@ impl HostProber {
         let owner = {
             let line = Arc::clone(&line);
             let phase = Arc::clone(&phase);
-            std::thread::spawn(move || {
-                pin_to(b);
-                for r in 0..rounds as u32 {
-                    // Bring the line into Modified state.
-                    let _ = line.compare_exchange(
-                        u64::from(r),
-                        u64::from(r) + 1,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    line.store(u64::from(r), Ordering::Release);
-                    // Signal the measuring thread and wait for the next
-                    // round.
-                    phase.store(2 * r + 1, Ordering::Release);
-                    while phase.load(Ordering::Acquire) != 2 * r + 2 {
-                        std::hint::spin_loop();
+            std::thread::Builder::new()
+                .name("mctop-probe-owner".into())
+                .spawn(move || {
+                    pin_to(b);
+                    for r in 0..rounds as u32 {
+                        // Bring the line into Modified state.
+                        let _ = line.compare_exchange(
+                            u64::from(r),
+                            u64::from(r) + 1,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        line.store(u64::from(r), Ordering::Release);
+                        // Signal the measuring thread and wait for the
+                        // next round (or the abort sentinel, set when
+                        // the measurer failed to spawn).
+                        phase.store(2 * r + 1, Ordering::Release);
+                        loop {
+                            let p = phase.load(Ordering::Acquire);
+                            if p == PHASE_ABORT {
+                                return;
+                            }
+                            if p == 2 * r + 2 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
                     }
-                }
-            })
+                })?
         };
         let measurer = {
             let line = Arc::clone(&line);
             let phase = Arc::clone(&phase);
             let results = Arc::clone(&results);
-            std::thread::spawn(move || {
-                pin_to(a);
-                let mut local = Vec::with_capacity(rounds);
-                for r in 0..rounds as u32 {
-                    while phase.load(Ordering::Acquire) != 2 * r + 1 {
-                        std::hint::spin_loop();
+            std::thread::Builder::new()
+                .name("mctop-probe-measurer".into())
+                .spawn(move || {
+                    pin_to(a);
+                    let mut local = Vec::with_capacity(rounds);
+                    for r in 0..rounds as u32 {
+                        while phase.load(Ordering::Acquire) != 2 * r + 1 {
+                            std::hint::spin_loop();
+                        }
+                        let t = Instant::now();
+                        let _ = line.compare_exchange(
+                            u64::from(r),
+                            u64::from(r) + 1000,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        let ns = t.elapsed().as_nanos().min(u128::from(u32::MAX)) as u32;
+                        local.push(ns);
+                        phase.store(2 * r + 2, Ordering::Release);
                     }
-                    let t = Instant::now();
-                    let _ = line.compare_exchange(
-                        u64::from(r),
-                        u64::from(r) + 1000,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                    let ns = t.elapsed().as_nanos().min(u128::from(u32::MAX)) as u32;
-                    local.push(ns);
-                    phase.store(2 * r + 2, Ordering::Release);
-                }
-                results.lock().extend(local);
-            })
+                    results.lock().extend(local);
+                })
+        };
+        let measurer = match measurer {
+            Ok(h) => h,
+            Err(e) => {
+                // Unstick the owner (it spins waiting for a measurer
+                // that will never exist), then report the failure.
+                phase.store(PHASE_ABORT, Ordering::Release);
+                let _ = owner.join();
+                return Err(e);
+            }
         };
         let _ = owner.join();
         let _ = measurer.join();
         let out = results.lock().clone();
-        out
+        Ok(out)
+    }
+
+    /// [`HostProber::measure_batch`] with bounded retry: a transient
+    /// failure (spawn error, short batch from a died thread) is retried
+    /// up to [`MAX_BACKEND_RETRIES`] times with exponential backoff
+    /// (deterministically capped at [`BACKOFF_CAP`]), each absorbed
+    /// failure counted in [`Prober::backend_retries`]. A persistent
+    /// failure degrades to zero samples — like pin failure, the
+    /// pipeline keeps running with degraded data rather than dying
+    /// mid-collection.
+    pub fn measure_pair(&mut self, a: usize, b: usize, rounds: usize) -> Vec<u32> {
+        let mut backoff = BACKOFF_BASE;
+        for attempt in 0..=MAX_BACKEND_RETRIES {
+            match self.attempt_batch(a, b, rounds) {
+                Ok(samples) if samples.len() == rounds => return samples,
+                Ok(_) | Err(_) => {}
+            }
+            if attempt < MAX_BACKEND_RETRIES {
+                self.backend_retries += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+        }
+        vec![0; rounds]
+    }
+
+    fn attempt_batch(&mut self, a: usize, b: usize, rounds: usize) -> std::io::Result<Vec<u32>> {
+        #[cfg(test)]
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            return Err(std::io::Error::other("injected transient failure"));
+        }
+        self.try_measure_batch(a, b, rounds)
     }
 }
 
@@ -125,7 +211,7 @@ impl Prober for HostProber {
 
     fn probe(&mut self, a: usize, b: usize) -> u32 {
         if self.cache_pair != (a, b) || self.cache.is_empty() {
-            self.cache = self.measure_batch(a, b, self.batch);
+            self.cache = self.measure_pair(a, b, self.batch);
             self.cache_pair = (a, b);
         }
         self.cache.pop().unwrap_or(0)
@@ -134,13 +220,16 @@ impl Prober for HostProber {
     fn probe_batch(&mut self, a: usize, b: usize, out: &mut Vec<u32>, count: usize) {
         // One thread-pair spawn for the whole batch instead of one per
         // `batch` samples through the per-sample cache.
+        let samples = self.measure_pair(a, b, count);
         out.clear();
-        out.extend(self.measure_batch(a, b, count));
+        out.extend(samples);
     }
 
     /// The host backend is stateless apart from its sample cache: a
     /// fork is a fresh prober over the same machine, able to pin its
-    /// own measurement thread pair to a disjoint context pair.
+    /// own measurement thread pair to a disjoint context pair. Retry
+    /// accounting starts at zero — the phase runners fold each fork's
+    /// delta separately.
     fn fork(&self) -> Option<Self> {
         Some(HostProber {
             n_hwcs: self.n_hwcs,
@@ -148,7 +237,14 @@ impl Prober for HostProber {
             cache: Vec::new(),
             cache_pair: (usize::MAX, usize::MAX),
             batch: self.batch,
+            backend_retries: 0,
+            #[cfg(test)]
+            fail_next: 0,
         })
+    }
+
+    fn backend_retries(&self) -> u64 {
+        self.backend_retries
     }
 
     fn rdtsc_cost(&mut self) -> u32 {
@@ -244,6 +340,54 @@ mod tests {
         let v2 = p.probe(0, 1);
         // Communication across contexts takes measurable time.
         assert!(v1 > 0 || v2 > 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        let mut p = HostProber::new().unwrap();
+        p.fail_next = 2;
+        let samples = p.measure_pair(0, 0, 8);
+        assert_eq!(samples.len(), 8, "recovered batch has full length");
+        assert_eq!(
+            Prober::backend_retries(&p),
+            2,
+            "both absorbed failures counted"
+        );
+        // A later healthy batch does not add retries.
+        let _ = p.measure_pair(0, 0, 4);
+        assert_eq!(Prober::backend_retries(&p), 2);
+    }
+
+    #[test]
+    fn persistent_failure_degrades_to_zeros_after_bounded_retries() {
+        let mut p = HostProber::new().unwrap();
+        p.fail_next = u32::MAX; // never recovers within the budget
+        let samples = p.measure_pair(0, 0, 4);
+        assert_eq!(samples, vec![0; 4], "degraded batch keeps its shape");
+        assert_eq!(
+            Prober::backend_retries(&p),
+            u64::from(MAX_BACKEND_RETRIES),
+            "retry budget is bounded"
+        );
+        assert_eq!(
+            u32::MAX - p.fail_next,
+            MAX_BACKEND_RETRIES + 1,
+            "initial attempt plus the retry budget, nothing more"
+        );
+    }
+
+    #[test]
+    fn probe_batch_survives_transient_failures() {
+        let mut p = HostProber::new().unwrap();
+        if p.num_hwcs() < 2 {
+            return; // Single-CPU environment: nothing to measure.
+        }
+        p.fail_next = 1;
+        let mut out = Vec::new();
+        p.probe_batch(0, 1, &mut out, 16);
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().any(|&x| x > 0), "real samples after retry");
+        assert_eq!(Prober::backend_retries(&p), 1);
     }
 
     #[test]
