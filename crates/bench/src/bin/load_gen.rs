@@ -1,0 +1,219 @@
+//! Serving load generator: how fast does `mctopd` answer, and how does
+//! latency behave as the client count climbs? Emitted as
+//! `BENCH_serving.json` for CI.
+//!
+//! Usage: `load_gen [OUT_PATH] [--duration-ms N] [--clients a,b,c]`
+//! (defaults: `BENCH_serving.json`, 500 ms per cell, client ladder
+//! `1,4,16,64`).
+//!
+//! One in-process server per paper platform, pinned to that platform's
+//! topology. For each rung of the client ladder, that many client
+//! threads run a deterministic mixed request stream (queries,
+//! placements, alloc plans) over their own connections for the
+//! sustained window; per-request wall latency is measured client-side
+//! and pooled across clients for p50/p99. The server's own counters
+//! are included per platform so the artifact records how many requests
+//! and batches the serving path actually saw.
+
+use std::sync::atomic::{
+    AtomicBool,
+    Ordering, //
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mctop_client::Client;
+use mctop_runtime::ServerSnapshot;
+use mctopd::{
+    Server,
+    ServerCfg, //
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    duration_ms: u64,
+    hw_threads: usize,
+    client_ladder: Vec<usize>,
+    platforms: Vec<Platform>,
+}
+
+#[derive(Serialize)]
+struct Platform {
+    preset: String,
+    contexts: usize,
+    /// One row per client-count rung.
+    rungs: Vec<Rung>,
+    /// The server's serving-path counters over all of this platform's
+    /// rungs (schema in docs/OBSERVABILITY.md).
+    server: ServerSnapshot,
+}
+
+#[derive(Serialize)]
+struct Rung {
+    clients: usize,
+    requests: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// The request mix one client cycles through. Everything is answered
+/// from the memoized `Arc<TopoView>`, so the mix exercises cheap index
+/// lookups (latency), mid-weight renders (summary, walk) and heavier
+/// resolution work (placement, alloc-plan).
+fn run_client(sock: &std::path::Path, desc: &str, stop: &AtomicBool, seed: u64) -> (u64, Vec<f64>) {
+    let mut client = Client::connect(sock).expect("connect");
+    let mut latencies_us = Vec::with_capacity(4096);
+    let mut served = 0u64;
+    let mut state = seed | 1;
+    let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    while !stop.load(Ordering::Relaxed) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let start = Instant::now();
+        match (state >> 11) % 8 {
+            0 | 1 => {
+                client.query(desc, "latency", &args(&["0", "1"])).unwrap();
+            }
+            2 | 3 => {
+                client.query(desc, "summary", &[]).unwrap();
+            }
+            4 => {
+                client.query(desc, "walk", &[]).unwrap();
+            }
+            5 => {
+                client.query(desc, "socket-of", &args(&["0"])).unwrap();
+            }
+            6 => {
+                client.placement(desc, "RR_CORE", 8).unwrap();
+            }
+            _ => {
+                client.alloc_plan(desc, "local", 8).unwrap();
+            }
+        }
+        latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        served += 1;
+    }
+    (served, latencies_us)
+}
+
+fn main() {
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut duration_ms = 500u64;
+    let mut ladder: Vec<usize> = vec![1, 4, 16, 64];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration-ms" => {
+                duration_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-ms takes a number");
+            }
+            "--clients" => {
+                ladder = args
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|c| c.parse().expect("--clients takes numbers"))
+                            .collect()
+                    })
+                    .expect("--clients takes a,b,c");
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut platforms = Vec::new();
+    for spec in mcsim::presets::all_paper_platforms() {
+        let sock = std::env::temp_dir().join(format!(
+            "mctopd-loadgen-{}-{}.sock",
+            std::process::id(),
+            spec.name
+        ));
+        let _ = std::fs::remove_file(&sock);
+        let server = Server::bind(ServerCfg {
+            socket: sock.clone(),
+            source: mctopd::DescSource::Shipped,
+            pin_desc: Some(spec.name.clone()),
+            workers: None,
+            os_pin: false,
+        })
+        .expect("server binds");
+        let handle = server.start();
+
+        let mut rungs = Vec::new();
+        for &clients in &ladder {
+            let stop = Arc::new(AtomicBool::new(false));
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let sock = sock.clone();
+                    let desc = spec.name.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || run_client(&sock, &desc, &stop, 0xC0FFEE + c as u64))
+                })
+                .collect();
+            let window = Instant::now();
+            std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+            stop.store(true, Ordering::Relaxed);
+            let mut requests = 0u64;
+            let mut latencies_us: Vec<f64> = Vec::new();
+            for w in workers {
+                let (served, lats) = w.join().expect("client thread");
+                requests += served;
+                latencies_us.extend(lats);
+            }
+            let elapsed = window.elapsed().as_secs_f64();
+            latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let pct = |p: f64| -> f64 {
+                if latencies_us.is_empty() {
+                    return 0.0;
+                }
+                let i = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+                latencies_us[i]
+            };
+            let rung = Rung {
+                clients,
+                requests,
+                rps: requests as f64 / elapsed,
+                p50_us: pct(0.50),
+                p99_us: pct(0.99),
+            };
+            eprintln!(
+                "{:<9} {:>3} clients  {:>8.0} req/s  p50 {:>7.1} us  p99 {:>8.1} us",
+                spec.name, clients, rung.rps, rung.p50_us, rung.p99_us
+            );
+            rungs.push(rung);
+        }
+
+        let snapshot = handle.metrics().server_snapshot();
+        handle.stop();
+        platforms.push(Platform {
+            preset: spec.name.clone(),
+            contexts: mctop::Registry::shipped()
+                .view(&spec.name)
+                .expect("shipped description")
+                .num_hwcs(),
+            rungs,
+            server: snapshot,
+        });
+    }
+
+    let report = Report {
+        bench: "serving",
+        duration_ms,
+        hw_threads,
+        client_ladder: ladder,
+        platforms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -11,9 +11,13 @@
 //! - `mct query` — answer topology queries from a description
 //! - `mct diff` — structural comparison of two descriptions
 //! - `mct regen-descs` — regenerate the committed `descs/` library
+//! - `mct serve` — run the `mctopd` daemon on a Unix socket
 //!
 //! Everything runs fully offline: the only inputs are the compiled-in
 //! `descs/` library, the `mcsim` machine models, and local files.
+//! `mct query --remote <socket>` answers the same queries from a
+//! running daemon instead of loading the description locally — the
+//! output is byte-identical either way (see `docs/SERVING.md`).
 
 mod diff;
 mod queries;
@@ -53,9 +57,11 @@ USAGE:
                         [--no-enrich] [--out PATH] [--stdout]
     mct validate <desc>...
     mct show <desc> [--format text|dot|summary]
-    mct query <desc> <query> [args...]
+    mct query [--remote SOCKET] <desc> <query> [args...]
     mct diff <a> <b>
     mct regen-descs [--dir DIR] [--check] [--jobs N]
+    mct serve --socket PATH [--descs DIR] [--pin MACHINE] [--workers N]
+              [--os-pin]
 
 Collection is deterministic in the worker count: --jobs only changes
 wall-clock time (disjoint context pairs are measured concurrently),
@@ -65,6 +71,12 @@ cluster boundaries.
 
 A <desc> is a machine name from `mct list` (resolved against the
 shipped description library) or a path to a *.mct.json file.
+
+`mct serve` runs the topology daemon (the `mctopd` binary, in
+process): topologies are loaded once, shared, and served over a
+versioned wire protocol on a Unix socket. `mct query --remote SOCKET`
+asks a running daemon instead of loading locally; the answer is
+byte-identical. See docs/SERVING.md for the protocol.
 
 QUERIES:
     summary                     one-line topology summary
@@ -116,6 +128,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "query" => queries::cmd_query(rest),
         "diff" => cmd_diff(rest),
         "regen-descs" => cmd_regen(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -328,6 +341,40 @@ fn cmd_diff(args: &[String]) -> Result<(), CliError> {
         println!("{} difference(s) between {a} and {b}", diffs.len());
         Err(CliError::Mismatch)
     }
+}
+
+/// `mct serve`: run the topology daemon in the foreground until a
+/// client sends the `Shutdown` admin request.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let socket = take_flag(&mut args, "--socket")?
+        .ok_or_else(|| CliError::Usage("serve needs --socket PATH".into()))?;
+    let descs = take_flag(&mut args, "--descs")?;
+    let pin = take_flag(&mut args, "--pin")?;
+    let workers = take_flag(&mut args, "--workers")?
+        .map(|s| parse::<usize>(&s, "worker count"))
+        .transpose()?;
+    let os_pin = take_switch(&mut args, "--os-pin");
+    if let Some(extra) = args.first() {
+        return Err(CliError::Usage(format!(
+            "unexpected serve argument `{extra}`"
+        )));
+    }
+    let cfg = mctopd::ServerCfg {
+        socket: PathBuf::from(&socket),
+        source: match descs {
+            Some(dir) => mctopd::DescSource::Dir(PathBuf::from(dir)),
+            None => mctopd::DescSource::Shipped,
+        },
+        pin_desc: pin,
+        workers,
+        os_pin,
+    };
+    let server = mctopd::Server::bind(cfg).map_err(|e| CliError::Failed(e.to_string()))?;
+    eprintln!("mct serve: listening on {socket}");
+    server.start().join();
+    eprintln!("mct serve: shut down");
+    Ok(())
 }
 
 fn cmd_regen(args: &[String]) -> Result<(), CliError> {

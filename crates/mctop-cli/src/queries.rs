@@ -1,5 +1,11 @@
 //! The `mct query` subcommand: the Section-5 query vocabulary answered
 //! from a description file, through the precomputed [`TopoView`] index.
+//!
+//! The answer text itself comes from [`mctopd::eval`] — the same
+//! functions the daemon serves over the wire — so `mct query <desc> …`
+//! and `mct query --remote <socket> <desc> …` print byte-identical
+//! output by construction (`tests/serving_equivalence.rs` proves it
+//! end to end).
 
 use std::sync::Arc;
 
@@ -9,10 +15,15 @@ use mctop_alloc::{
     AllocPlan,
     AllocPolicy, //
 };
+use mctop_client::Client;
 use mctop_place::{
     PlaceOpts,
     Placement,
     Policy, //
+};
+use mctopd::eval::{
+    self,
+    EvalError, //
 };
 
 use mctop_runtime::{
@@ -25,133 +36,57 @@ use mctop_runtime::{
 };
 
 use crate::{
-    parse,
     resolve,
+    take_flag,
     CliError, //
 };
 
+impl From<EvalError> for CliError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Usage(m) => CliError::Usage(m),
+            EvalError::Failed(m) => CliError::Failed(m),
+        }
+    }
+}
+
 pub fn cmd_query(args: &[String]) -> Result<(), CliError> {
-    let [target, query, rest @ ..] = args else {
+    let mut args = args.to_vec();
+    let remote = take_flag(&mut args, "--remote")?;
+    let [target, query, rest @ ..] = args.as_slice() else {
         return Err(CliError::Usage("query needs a <desc> and a query".into()));
     };
+
+    if let Some(socket) = remote {
+        return query_remote(&socket, target, query, rest);
+    }
+
     let (topo, _) = resolve::load(target)?;
     let view = TopoView::try_new(Arc::new(topo))?;
 
-    let int = |what: &str| -> Result<usize, CliError> {
-        let [s] = rest else {
-            return Err(CliError::Usage(format!("`{query}` takes one {what}")));
-        };
-        parse(s, what)
-    };
-    let pair = |what: &str| -> Result<(usize, usize), CliError> {
-        let [a, b] = rest else {
-            return Err(CliError::Usage(format!("`{query}` takes two {what}s")));
-        };
-        Ok((parse(a, what)?, parse(b, what)?))
-    };
-    let check_socket = |s: usize| -> Result<usize, CliError> {
-        if s < view.num_sockets() {
-            Ok(s)
-        } else {
-            Err(CliError::Failed(format!(
-                "socket {s} out of range (machine has {})",
-                view.num_sockets()
-            )))
+    if query == "metrics" {
+        if !rest.is_empty() {
+            return Err(CliError::Usage("`metrics` takes no arguments".into()));
         }
-    };
-    let check_hwc = |h: usize| -> Result<usize, CliError> {
-        if h < view.num_hwcs() {
-            Ok(h)
-        } else {
-            Err(CliError::Failed(format!(
-                "context {h} out of range (machine has {})",
-                view.num_hwcs()
-            )))
-        }
-    };
-    let list = |ids: &[usize]| {
-        ids.iter()
-            .map(|i| i.to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-
-    match query.as_str() {
-        "summary" => println!("{}", view.summary()),
-        "latency" => {
-            let (a, b) = pair("context")?;
-            println!("{}", view.get_latency(check_hwc(a)?, check_hwc(b)?));
-        }
-        "socket-latency" => {
-            let (a, b) = pair("socket")?;
-            println!(
-                "{}",
-                view.socket_latency(check_socket(a)?, check_socket(b)?)
-            );
-        }
-        "closest" => {
-            let s = check_socket(int("socket")?)?;
-            println!("{}", list(view.closest_sockets(s)));
-        }
-        "sockets-by-bw" => println!("{}", list(view.sockets_by_local_bandwidth())),
-        "walk" => println!("{}", list(view.socket_order_bandwidth_proximity())),
-        "max-latency" => println!("{}", view.max_latency()),
-        "socket-of" => println!("{}", view.socket_of(check_hwc(int("context")?)?)),
-        "core-of" => println!("{}", view.core_of(check_hwc(int("context")?)?)),
-        "node-of" => match view.node_of(check_hwc(int("context")?)?) {
-            Some(node) => println!("{node}"),
-            None => println!("unknown"),
-        },
-        "hwcs" => {
-            let (s, cores_first) = match rest {
-                [s] => (parse::<usize>(s, "socket")?, false),
-                [s, mode] if mode == "cores-first" => (parse::<usize>(s, "socket")?, true),
-                _ => {
-                    return Err(CliError::Usage(
-                        "`hwcs` takes a socket and optionally `cores-first`".into(),
-                    ))
-                }
-            };
-            let s = check_socket(s)?;
-            let ids = if cores_first {
-                view.socket_hwcs_cores_first(s)
-            } else {
-                view.socket_hwcs_compact(s)
-            };
-            println!("{}", list(ids));
-        }
-        "alloc-plan" => {
-            let (policy_s, threads) = match rest {
-                [p] => (p, None),
-                [p, t] => (p, Some(parse::<usize>(t, "thread count")?)),
-                _ => {
-                    return Err(CliError::Usage(
-                        "`alloc-plan` takes a policy and optionally a thread count".into(),
-                    ))
-                }
-            };
-            let policy: AllocPolicy = policy_s.parse().map_err(CliError::Usage)?;
-            let n = threads.unwrap_or(view.num_hwcs());
-            // RR_CORE: the round-robin hand-out spreads workers across
-            // every socket, so the plan shows each socket's stripes.
-            let place = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(n))
-                .map_err(|e| CliError::Failed(e.to_string()))?;
-            let plan = AllocPlan::resolve(&view, &place, &policy, &AllocCfg::default())
-                .map_err(|e| CliError::Failed(e.to_string()))?;
-            print!("{}", plan.render());
-        }
-        "metrics" => {
-            if !rest.is_empty() {
-                return Err(CliError::Usage("`metrics` takes no arguments".into()));
-            }
-            query_metrics(&view)?;
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown query `{other}` (see `mct help`)"
-            )))
-        }
+        return query_metrics(&view);
     }
+
+    let text = eval::query_text(&view, query, rest)?;
+    print!("{text}");
+    Ok(())
+}
+
+/// `mct query --remote <socket> <desc> <query> [args...]`: the same
+/// query answered by a running `mctopd` instead of a local load. The
+/// response body is printed verbatim; a server-side error becomes a
+/// normal CLI failure carrying the server's message.
+fn query_remote(socket: &str, desc: &str, query: &str, args: &[String]) -> Result<(), CliError> {
+    let mut client =
+        Client::connect(socket).map_err(|e| CliError::Failed(format!("connecting: {e}")))?;
+    let text = client
+        .query(desc, query, args)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    print!("{text}");
     Ok(())
 }
 
@@ -160,6 +95,10 @@ pub fn cmd_query(args: &[String]) -> Result<(), CliError> {
 /// adaptive), live executor (targeted-only rounds plus one re-arm),
 /// single-threaded steal/injector harnesses, and alloc plan resolution
 /// — then prints the process-global counter snapshot as JSON.
+///
+/// This stays CLI-local (not in `mctopd::eval`): it *runs a workload*
+/// rather than answering from the topology, and the daemon serves its
+/// own live counters through the `MetricsSnapshot` request instead.
 ///
 /// Every printed counter is exact and reproducible: the live executor
 /// phase uses only targeted (mailbox) traffic, the steal and injector

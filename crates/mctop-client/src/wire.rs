@@ -1,0 +1,657 @@
+//! The MCTOP wire protocol: versioned, length-prefixed frames.
+//!
+//! Every message on the socket is one *frame*:
+//!
+//! ```text
+//! frame   := len:u32le payload            (len = payload byte count)
+//! payload := tag:u8 body                  (body layout fixed per tag)
+//! ```
+//!
+//! Integers are little-endian; a string is `len:u32le` followed by that
+//! many UTF-8 bytes; a list is `count:u32le` followed by its items. The
+//! encoding is *canonical*: every frame has exactly one byte
+//! representation, and decoding consumes the whole payload (trailing
+//! bytes are a [`WireError::TrailingBytes`], not silently ignored).
+//! Frames longer than [`MAX_FRAME_LEN`] are rejected before any
+//! allocation, so a hostile length prefix cannot balloon memory.
+//!
+//! # Versioning rules
+//!
+//! The first frame on every connection must be [`Request::Hello`]
+//! carrying the client's [`PROTO_VERSION`]. The server answers
+//! [`Response::HelloOk`] with its own version if they match, or an
+//! [`ErrorCode::VersionMismatch`] error frame and closes the
+//! connection. Tags, field orders, and widths of existing frames never
+//! change within a protocol version; additions bump [`PROTO_VERSION`].
+//! Unknown tags decode to [`WireError::BadTag`] — never a panic.
+
+use std::fmt;
+use std::io::{
+    self,
+    Read,
+    Write, //
+};
+
+/// The protocol version this crate speaks. Negotiated by the
+/// mandatory `Hello`/`HelloOk` exchange that opens every connection.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Hard ceiling on a frame's payload length (16 MiB). Larger length
+/// prefixes are rejected by [`read_frame`] before allocating.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+// Request tags (client -> server).
+const TAG_HELLO: u8 = 0x01;
+const TAG_LIST: u8 = 0x10;
+const TAG_QUERY: u8 = 0x11;
+const TAG_PLACEMENT: u8 = 0x12;
+const TAG_ALLOC_PLAN: u8 = 0x13;
+const TAG_METRICS: u8 = 0x14;
+const TAG_RELOAD: u8 = 0x15;
+const TAG_SHUTDOWN: u8 = 0x16;
+
+// Response tags (server -> client).
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_OK: u8 = 0x90;
+const TAG_ERR: u8 = 0x91;
+
+/// A client request frame. See `docs/SERVING.md` for the request
+/// catalog and the exact body each one returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// The client's protocol version ([`PROTO_VERSION`]).
+        version: u16,
+    },
+    /// Names of the topologies the server can answer for, one per
+    /// line, exactly as `mct list` prints them.
+    ListTopologies,
+    /// A topology query by machine name — the `mct query` vocabulary,
+    /// answered byte-identically to the local CLI.
+    Query {
+        /// Machine name in the server's registry (e.g. `ivy`).
+        desc: String,
+        /// Query name (e.g. `latency`, `summary`, `alloc-plan`).
+        query: String,
+        /// Positional query arguments, verbatim.
+        args: Vec<String>,
+    },
+    /// A placement of `workers` threads under a named policy; returns
+    /// the `Placement::render()` block byte-identically.
+    Placement {
+        /// Machine name in the server's registry.
+        desc: String,
+        /// Paper-style policy name (e.g. `RR_CORE`), case-insensitive.
+        policy: String,
+        /// Thread count; 0 means every hardware context.
+        workers: u32,
+    },
+    /// A resolved memory allocation plan; returns the
+    /// `AllocPlan::render()` block byte-identically.
+    AllocPlan {
+        /// Machine name in the server's registry.
+        desc: String,
+        /// Alloc policy (`local`, `interleave`, `bw`, `on-nodes:..`).
+        policy: String,
+        /// Worker count; 0 means every hardware context.
+        workers: u32,
+    },
+    /// The server's live runtime + serving counters as JSON
+    /// (`{"runtime": MetricsSnapshot, "server": ServerSnapshot}`).
+    MetricsSnapshot,
+    /// Admin: drop every memoized topology; later lookups re-load from
+    /// the description source and hand out fresh `Arc<TopoView>`s.
+    Reload,
+    /// Admin: gracefully stop the server after answering this frame.
+    Shutdown,
+}
+
+impl Request {
+    /// Short stable name, used by transcripts and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::ListTopologies => "list-topologies",
+            Request::Query { .. } => "query",
+            Request::Placement { .. } => "placement",
+            Request::AllocPlan { .. } => "alloc-plan",
+            Request::MetricsSnapshot => "metrics-snapshot",
+            Request::Reload => "reload",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful version negotiation.
+    HelloOk {
+        /// The server's protocol version.
+        version: u16,
+    },
+    /// Success; `body` is the request's result bytes (UTF-8 text for
+    /// every current request kind, empty for the admin requests).
+    Ok {
+        /// Result bytes, byte-identical to the direct library call.
+        body: Vec<u8>,
+    },
+    /// Typed failure. The connection stays open except for
+    /// [`ErrorCode::VersionMismatch`] and [`ErrorCode::MalformedFrame`],
+    /// after which the server closes it.
+    Err {
+        /// What failed.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error classes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The client's `Hello` carried an unsupported protocol version.
+    /// The server closes the connection after this frame.
+    VersionMismatch,
+    /// The frame could not be decoded (bad tag, truncated body,
+    /// trailing bytes, oversized length). The server closes the
+    /// connection: framing is lost, recovery is impossible.
+    MalformedFrame,
+    /// The frame decoded but the request is unanswerable (unknown
+    /// machine, unknown query, bad arguments). The connection stays
+    /// open.
+    BadRequest,
+    /// The server failed internally while answering. The connection
+    /// stays open.
+    Internal,
+    /// The server is shutting down and will not answer new requests.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::VersionMismatch => 1,
+            ErrorCode::MalformedFrame => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Internal => 4,
+            ErrorCode::ShuttingDown => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::VersionMismatch,
+            2 => ErrorCode::MalformedFrame,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::Internal,
+            5 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name (used in rendered transcripts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a frame could not be decoded (or read). Every variant is a
+/// clean, typed rejection — malformed input never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Decoding finished with payload bytes left over.
+    TrailingBytes(usize),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// The stream ended in the middle of a frame.
+    UnexpectedEof,
+    /// An I/O error while reading or writing a frame.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN} cap")
+            }
+            WireError::BadTag(tag) => write!(f, "unknown frame tag 0x{tag:02x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after the frame body"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Encodes a request into a frame payload (without the length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Hello { version } => {
+            out.push(TAG_HELLO);
+            put_u16(&mut out, *version);
+        }
+        Request::ListTopologies => out.push(TAG_LIST),
+        Request::Query { desc, query, args } => {
+            out.push(TAG_QUERY);
+            put_str(&mut out, desc);
+            put_str(&mut out, query);
+            put_u32(&mut out, args.len() as u32);
+            for a in args {
+                put_str(&mut out, a);
+            }
+        }
+        Request::Placement {
+            desc,
+            policy,
+            workers,
+        } => {
+            out.push(TAG_PLACEMENT);
+            put_str(&mut out, desc);
+            put_str(&mut out, policy);
+            put_u32(&mut out, *workers);
+        }
+        Request::AllocPlan {
+            desc,
+            policy,
+            workers,
+        } => {
+            out.push(TAG_ALLOC_PLAN);
+            put_str(&mut out, desc);
+            put_str(&mut out, policy);
+            put_u32(&mut out, *workers);
+        }
+        Request::MetricsSnapshot => out.push(TAG_METRICS),
+        Request::Reload => out.push(TAG_RELOAD),
+        Request::Shutdown => out.push(TAG_SHUTDOWN),
+    }
+    out
+}
+
+/// Encodes a response into a frame payload (without the length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::HelloOk { version } => {
+            out.push(TAG_HELLO_OK);
+            put_u16(&mut out, *version);
+        }
+        Response::Ok { body } => {
+            out.push(TAG_OK);
+            put_bytes(&mut out, body);
+        }
+        Response::Err { code, message } => {
+            out.push(TAG_ERR);
+            out.push(code.to_byte());
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked cursor over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Rejects payloads with bytes left after the body — the canonical
+    /// encoding has none, so leftovers mean a corrupt or hostile frame.
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.at))
+        }
+    }
+}
+
+/// Decodes one request frame payload. Strict: unknown tags, truncated
+/// bodies, bad UTF-8, and trailing bytes are all typed errors.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        TAG_HELLO => Request::Hello { version: c.u16()? },
+        TAG_LIST => Request::ListTopologies,
+        TAG_QUERY => {
+            let desc = c.string()?;
+            let query = c.string()?;
+            let count = c.u32()? as usize;
+            // Each argument costs at least 4 bytes (its length prefix):
+            // a hostile count cannot reserve more than the payload holds.
+            if count > payload.len() / 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut args = Vec::with_capacity(count);
+            for _ in 0..count {
+                args.push(c.string()?);
+            }
+            Request::Query { desc, query, args }
+        }
+        TAG_PLACEMENT => Request::Placement {
+            desc: c.string()?,
+            policy: c.string()?,
+            workers: c.u32()?,
+        },
+        TAG_ALLOC_PLAN => Request::AllocPlan {
+            desc: c.string()?,
+            policy: c.string()?,
+            workers: c.u32()?,
+        },
+        TAG_METRICS => Request::MetricsSnapshot,
+        TAG_RELOAD => Request::Reload,
+        TAG_SHUTDOWN => Request::Shutdown,
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decodes one response frame payload, as strictly as
+/// [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8()? {
+        TAG_HELLO_OK => Response::HelloOk { version: c.u16()? },
+        TAG_OK => Response::Ok { body: c.bytes()? },
+        TAG_ERR => {
+            let code_byte = c.u8()?;
+            let code = ErrorCode::from_byte(code_byte).ok_or(WireError::BadTag(code_byte))?;
+            Response::Err {
+                code,
+                message: c.string()?,
+            }
+        }
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------- frame io
+
+/// Writes one frame: length prefix, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; EOF inside a frame is [`WireError::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::UnexpectedEof),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut at = 0;
+    while at < payload.len() {
+        match r.read(&mut payload[at..]) {
+            Ok(0) => return Err(WireError::UnexpectedEof),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Splits as many complete frames as `buf` holds off its front,
+/// returning their payloads. Leftover bytes (a partial trailing frame)
+/// stay in `buf`. An oversized length prefix stops the scan and is
+/// reported *alongside* the frames already parsed — a hostile tail
+/// never discards the valid requests pipelined ahead of it.
+pub fn drain_frames(buf: &mut Vec<u8>) -> (Vec<Vec<u8>>, Option<WireError>) {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let mut error = None;
+    while buf.len() - at >= 4 {
+        let len = u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
+        if len > MAX_FRAME_LEN {
+            error = Some(WireError::Oversized(len));
+            break;
+        }
+        let total = 4 + len as usize;
+        if buf.len() - at < total {
+            break;
+        }
+        frames.push(buf[at + 4..at + total].to_vec());
+        at += total;
+    }
+    buf.drain(..at);
+    (frames, error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: PROTO_VERSION,
+            },
+            Request::ListTopologies,
+            Request::Query {
+                desc: "ivy".into(),
+                query: "latency".into(),
+                args: vec!["0".into(), "20".into()],
+            },
+            Request::Placement {
+                desc: "westmere".into(),
+                policy: "RR_CORE".into(),
+                workers: 8,
+            },
+            Request::AllocPlan {
+                desc: "sparc".into(),
+                policy: "bw".into(),
+                workers: 0,
+            },
+            Request::MetricsSnapshot,
+            Request::Reload,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::HelloOk {
+                version: PROTO_VERSION,
+            },
+            Response::Ok { body: vec![] },
+            Response::Ok {
+                body: b"140\n".to_vec(),
+            },
+            Response::Err {
+                code: ErrorCode::BadRequest,
+                message: "unknown machine `nope`".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Reload);
+        bytes.push(0);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode_request(&Request::Query {
+            desc: "ivy".into(),
+            query: "summary".into(),
+            args: vec!["x".into()],
+        });
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frames_rejected_without_allocation() {
+        let mut buf: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0x00];
+        assert!(matches!(read_frame(&mut buf), Err(WireError::Oversized(_))));
+        let mut pending = vec![0xff, 0xff, 0xff, 0xff, 0x00];
+        let (frames, err) = drain_frames(&mut pending);
+        assert!(frames.is_empty());
+        assert!(matches!(err, Some(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn drain_keeps_partial_tail() {
+        let a = encode_request(&Request::ListTopologies);
+        let b = encode_request(&Request::Reload);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        buf.extend_from_slice(&[3, 0, 0, 0, 1]); // incomplete third frame
+        let (frames, err) = drain_frames(&mut buf);
+        assert!(err.is_none());
+        assert_eq!(frames, vec![a, b]);
+        assert_eq!(buf, vec![3, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn drain_reports_oversized_tail_but_keeps_good_frames() {
+        let a = encode_request(&Request::MetricsSnapshot);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        buf.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x00]);
+        let (frames, err) = drain_frames(&mut buf);
+        assert_eq!(frames, vec![a]);
+        assert!(matches!(err, Some(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_typed() {
+        let mut short: &[u8] = &[10, 0, 0, 0, 1, 2];
+        assert!(matches!(
+            read_frame(&mut short),
+            Err(WireError::UnexpectedEof)
+        ));
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests for the wire protocol: round trips, canonical
+//! encoding, and the promise that hostile bytes — truncations,
+//! oversized length prefixes, bit flips — are rejected with typed
+//! errors and never panic.
+
+use std::io::Cursor;
+
+use mctop_client::wire::{
+    decode_request,
+    decode_response,
+    drain_frames,
+    encode_request,
+    encode_response,
+    read_frame,
+    write_frame,
+    Request,
+    Response,
+    WireError,
+    MAX_FRAME_LEN, //
+};
+use mctop_client::ErrorCode;
+use proptest::prelude::*;
+
+/// Deterministically derives a small string from a seed: a mix of
+/// ASCII identifiers, empty strings, and multi-byte UTF-8 so string
+/// length (bytes) and char count diverge.
+fn string_from(seed: u64) -> String {
+    match seed % 5 {
+        0 => String::new(),
+        1 => format!("machine-{}", seed % 97),
+        2 => format!("q{}", seed % 13),
+        3 => format!("héllo-{}", seed % 7), // multi-byte UTF-8
+        _ => "x".repeat((seed % 40) as usize),
+    }
+}
+
+/// Derives one of every request kind from three seeds.
+fn request_from(sel: u8, a: u64, b: u64) -> Request {
+    match sel % 8 {
+        0 => Request::Hello {
+            version: (a % u64::from(u16::MAX)) as u16,
+        },
+        1 => Request::ListTopologies,
+        2 => Request::Query {
+            desc: string_from(a),
+            query: string_from(b),
+            args: (0..(a % 5)).map(|i| string_from(b ^ i)).collect(),
+        },
+        3 => Request::Placement {
+            desc: string_from(a),
+            policy: string_from(b),
+            workers: (a % 1000) as u32,
+        },
+        4 => Request::AllocPlan {
+            desc: string_from(b),
+            policy: string_from(a),
+            workers: (b % 1000) as u32,
+        },
+        5 => Request::MetricsSnapshot,
+        6 => Request::Reload,
+        _ => Request::Shutdown,
+    }
+}
+
+/// Derives one of every response kind from two seeds.
+fn response_from(sel: u8, a: u64) -> Response {
+    match sel % 3 {
+        0 => Response::HelloOk {
+            version: (a % u64::from(u16::MAX)) as u16,
+        },
+        1 => Response::Ok {
+            body: (0..(a % 200)).map(|i| (a ^ i) as u8).collect(),
+        },
+        _ => Response::Err {
+            code: match a % 5 {
+                0 => ErrorCode::VersionMismatch,
+                1 => ErrorCode::MalformedFrame,
+                2 => ErrorCode::BadRequest,
+                3 => ErrorCode::Internal,
+                _ => ErrorCode::ShuttingDown,
+            },
+            message: string_from(a),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request survives encode → decode unchanged, and the
+    /// framed form survives write_frame → read_frame.
+    #[test]
+    fn request_round_trips(sel in any::<u8>(), a in any::<u64>(), b in any::<u64>()) {
+        let req = request_from(sel, a, b);
+        let payload = encode_request(&req);
+        prop_assert_eq!(decode_request(&payload).unwrap(), req.clone());
+
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let read = read_frame(&mut Cursor::new(&framed)).unwrap().unwrap();
+        prop_assert_eq!(decode_request(&read).unwrap(), req);
+    }
+
+    /// Every response survives encode → decode unchanged.
+    #[test]
+    fn response_round_trips(sel in any::<u8>(), a in any::<u64>()) {
+        let resp = response_from(sel, a);
+        let payload = encode_response(&resp);
+        prop_assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    /// A truncated payload is a typed error at *every* cut point —
+    /// never a panic, never a silent partial decode.
+    #[test]
+    fn truncated_requests_rejected(sel in any::<u8>(), a in any::<u64>(), b in any::<u64>()) {
+        let payload = encode_request(&request_from(sel, a, b));
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(WireError::Truncated) | Err(WireError::BadTag(_)) => {}
+                Err(e) => prop_assert!(false, "cut {cut}: unexpected error class {e}"),
+                Ok(req) => prop_assert!(false, "cut {cut}: decoded {req:?} from a prefix"),
+            }
+        }
+    }
+
+    /// Trailing garbage after a complete body is rejected: the
+    /// encoding is canonical, a frame is exactly its bytes.
+    #[test]
+    fn trailing_bytes_rejected(
+        sel in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        extra in 1usize..16,
+    ) {
+        let mut payload = encode_request(&request_from(sel, a, b));
+        payload.extend(std::iter::repeat_n(0xAA, extra));
+        // Hello ignores the added bytes only if a string-length field
+        // absorbs them — which these fixed encodings never do.
+        prop_assert!(
+            matches!(decode_request(&payload), Err(WireError::TrailingBytes(_))),
+            "trailing bytes accepted"
+        );
+    }
+
+    /// Flipping any single bit of a valid payload either produces a
+    /// typed error or another *canonically encoded* frame — decoding
+    /// never panics, and an accepted mutation always re-encodes to
+    /// exactly the mutated bytes.
+    #[test]
+    fn bit_flips_never_panic(
+        sel in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let mut payload = encode_request(&request_from(sel, a, b));
+        let bit = (flip as usize) % (payload.len() * 8);
+        payload[bit / 8] ^= 1 << (bit % 8);
+        match decode_request(&payload) {
+            Err(_) => {}
+            Ok(req) => prop_assert_eq!(
+                encode_request(&req),
+                payload,
+                "accepted mutation is not canonical"
+            ),
+        }
+    }
+
+    /// A hostile length prefix is rejected before any allocation.
+    #[test]
+    fn oversized_frames_rejected(excess in 1u32..1000) {
+        let len = MAX_FRAME_LEN + excess;
+        let framed = len.to_le_bytes().to_vec();
+        prop_assert!(matches!(
+            read_frame(&mut Cursor::new(&framed)),
+            Err(WireError::Oversized(l)) if l == len
+        ));
+    }
+
+    /// A stream cut mid-frame is `UnexpectedEof`; a stream cut at a
+    /// frame boundary is a clean `Ok(None)`.
+    #[test]
+    fn eof_typing(sel in any::<u8>(), a in any::<u64>(), b in any::<u64>(), cut in any::<u64>()) {
+        let payload = encode_request(&request_from(sel, a, b));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+
+        let cut = 1 + (cut as usize) % (framed.len() - 1);
+        prop_assert!(matches!(
+            read_frame(&mut Cursor::new(&framed[..cut])),
+            Err(WireError::UnexpectedEof)
+        ));
+        prop_assert!(matches!(read_frame(&mut Cursor::new(&[] as &[u8])), Ok(None)));
+    }
+
+    /// `drain_frames` splits a pipelined burst back into the original
+    /// frames and keeps a partial tail buffered.
+    #[test]
+    fn drain_splits_bursts(
+        sels in prop::collection::vec(any::<u8>(), 1..8),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        let requests: Vec<Request> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, sel)| request_from(*sel, a ^ i as u64, b ^ i as u64))
+            .collect();
+        let mut burst = Vec::new();
+        for req in &requests {
+            write_frame(&mut burst, &encode_request(req)).unwrap();
+        }
+
+        // Whole burst: every frame comes back, buffer drains empty.
+        let mut buf = burst.clone();
+        let (frames, err) = drain_frames(&mut buf);
+        prop_assert!(err.is_none());
+        prop_assert!(buf.is_empty());
+        let decoded: Vec<Request> = frames
+            .iter()
+            .map(|f| decode_request(f).unwrap())
+            .collect();
+        prop_assert_eq!(decoded, requests);
+
+        // Partial burst: the incomplete tail stays buffered verbatim.
+        let cut = (cut as usize) % burst.len();
+        let mut buf = burst[..cut].to_vec();
+        let (frames, err) = drain_frames(&mut buf);
+        prop_assert!(err.is_none());
+        let consumed: usize = frames.iter().map(|f| 4 + f.len()).sum();
+        prop_assert_eq!(&burst[consumed..cut], &buf[..]);
+    }
+}

@@ -48,6 +48,8 @@ pub use executor::{
 pub use metrics::{
     Metrics,
     MetricsSnapshot,
+    ServerRequestKind,
+    ServerSnapshot,
     StealClass, //
 };
 pub use pool::WorkerPool;

@@ -167,9 +167,61 @@ impl Default for AllocCounters {
     }
 }
 
+/// Serving-path counters for the `mctopd` daemon: connections,
+/// per-kind request traffic, batching, and failure classes.
+///
+/// Deliberately **not** part of [`MetricsSnapshot`]: the runtime
+/// snapshot schema is pinned by goldens and pre-daemon artifacts.
+/// Read these via [`Metrics::server_snapshot`]; the daemon's
+/// `MetricsSnapshot` request returns both views side by side.
+#[derive(Default)]
+pub struct ServerCounters {
+    pub(crate) connections_opened: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) hellos_ok: AtomicU64,
+    pub(crate) version_mismatches: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) req_list: AtomicU64,
+    pub(crate) req_query: AtomicU64,
+    pub(crate) req_placement: AtomicU64,
+    pub(crate) req_alloc_plan: AtomicU64,
+    pub(crate) req_metrics: AtomicU64,
+    pub(crate) req_reload: AtomicU64,
+    pub(crate) req_shutdown: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) ok_responses: AtomicU64,
+    pub(crate) error_responses: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) disconnects_mid_request: AtomicU64,
+    pub(crate) reloads: AtomicU64,
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+}
+
+/// Request kinds the server counts individually (the serving wire
+/// protocol's non-handshake requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRequestKind {
+    /// `ListTopologies`.
+    List,
+    /// `Query`.
+    Query,
+    /// `Placement`.
+    Placement,
+    /// `AllocPlan`.
+    AllocPlan,
+    /// `MetricsSnapshot`.
+    Metrics,
+    /// `Reload` (admin).
+    Reload,
+    /// `Shutdown` (admin).
+    Shutdown,
+}
+
 /// The full runtime counter set: executor traffic, prober activity,
-/// and alloc/placement plans. See the module docs for the handle
-/// model and `docs/OBSERVABILITY.md` for per-counter semantics.
+/// alloc/placement plans, and the daemon's serving path. See the
+/// module docs for the handle model and `docs/OBSERVABILITY.md` for
+/// per-counter semantics.
 #[derive(Default)]
 pub struct Metrics {
     /// Executor-traffic buckets.
@@ -178,6 +230,8 @@ pub struct Metrics {
     pub prober: ProberCounters,
     /// Alloc/placement buckets.
     pub alloc: AllocCounters,
+    /// Serving-path buckets (`mctopd`).
+    pub server: ServerCounters,
 }
 
 /// The process-global metrics handle: what default-constructed
@@ -289,6 +343,112 @@ impl Metrics {
         }
     }
 
+    // --- serving recording (public: called from the mctopd crate) ---
+
+    /// A connection was accepted.
+    pub fn record_conn_opened(&self) {
+        add(&self.server.connections_opened, 1);
+    }
+
+    /// A connection handler finished (any reason).
+    pub fn record_conn_closed(&self) {
+        add(&self.server.connections_closed, 1);
+    }
+
+    /// A `Hello` handshake succeeded.
+    pub fn record_hello_ok(&self) {
+        add(&self.server.hellos_ok, 1);
+    }
+
+    /// A `Hello` carried an unsupported protocol version.
+    pub fn record_version_mismatch(&self) {
+        add(&self.server.version_mismatches, 1);
+    }
+
+    /// One decoded request of `kind` entered execution.
+    pub fn record_server_request(&self, kind: ServerRequestKind) {
+        add(&self.server.requests, 1);
+        let bucket = match kind {
+            ServerRequestKind::List => &self.server.req_list,
+            ServerRequestKind::Query => &self.server.req_query,
+            ServerRequestKind::Placement => &self.server.req_placement,
+            ServerRequestKind::AllocPlan => &self.server.req_alloc_plan,
+            ServerRequestKind::Metrics => &self.server.req_metrics,
+            ServerRequestKind::Reload => {
+                add(&self.server.reloads, 1);
+                &self.server.req_reload
+            }
+            ServerRequestKind::Shutdown => &self.server.req_shutdown,
+        };
+        add(bucket, 1);
+    }
+
+    /// One batch of pipelined requests was executed together.
+    pub fn record_server_batch(&self) {
+        add(&self.server.batches, 1);
+    }
+
+    /// An `Ok` response frame was written.
+    pub fn record_ok_response(&self) {
+        add(&self.server.ok_responses, 1);
+    }
+
+    /// A typed error response frame was written.
+    pub fn record_error_response(&self) {
+        add(&self.server.error_responses, 1);
+    }
+
+    /// A connection broke the framing (malformed frame, mid-frame EOF)
+    /// and was closed.
+    pub fn record_protocol_error(&self) {
+        add(&self.server.protocol_errors, 1);
+    }
+
+    /// A client vanished while a request (or its response) was in
+    /// flight; the request was abandoned, the server unaffected.
+    pub fn record_disconnect_mid_request(&self) {
+        add(&self.server.disconnects_mid_request, 1);
+    }
+
+    /// Frame bytes read from clients (payload + length prefixes).
+    pub fn record_bytes_read(&self, n: u64) {
+        add(&self.server.bytes_read, n);
+    }
+
+    /// Frame bytes written to clients (payload + length prefixes).
+    pub fn record_bytes_written(&self, n: u64) {
+        add(&self.server.bytes_written, n);
+    }
+
+    /// Loads the serving-path counters (relaxed) into a serializable
+    /// snapshot. Kept separate from [`Metrics::snapshot`] so the
+    /// runtime schema (and its goldens) stay byte-stable.
+    pub fn server_snapshot(&self) -> ServerSnapshot {
+        let s = &self.server;
+        ServerSnapshot {
+            connections_opened: get(&s.connections_opened),
+            connections_closed: get(&s.connections_closed),
+            hellos_ok: get(&s.hellos_ok),
+            version_mismatches: get(&s.version_mismatches),
+            requests: get(&s.requests),
+            req_list: get(&s.req_list),
+            req_query: get(&s.req_query),
+            req_placement: get(&s.req_placement),
+            req_alloc_plan: get(&s.req_alloc_plan),
+            req_metrics: get(&s.req_metrics),
+            req_reload: get(&s.req_reload),
+            req_shutdown: get(&s.req_shutdown),
+            batches: get(&s.batches),
+            ok_responses: get(&s.ok_responses),
+            error_responses: get(&s.error_responses),
+            protocol_errors: get(&s.protocol_errors),
+            disconnects_mid_request: get(&s.disconnects_mid_request),
+            reloads: get(&s.reloads),
+            bytes_read: get(&s.bytes_read),
+            bytes_written: get(&s.bytes_written),
+        }
+    }
+
     /// Loads every counter (relaxed) into a plain, serializable
     /// snapshot. Exact per counter; cross-counter invariants hold only
     /// when the recording executors are quiescent.
@@ -389,7 +549,81 @@ impl Metrics {
         for c in &a.stripes_per_node {
             c.store(0, Ordering::Relaxed);
         }
+        let s = &self.server;
+        for c in [
+            &s.connections_opened,
+            &s.connections_closed,
+            &s.hellos_ok,
+            &s.version_mismatches,
+            &s.requests,
+            &s.req_list,
+            &s.req_query,
+            &s.req_placement,
+            &s.req_alloc_plan,
+            &s.req_metrics,
+            &s.req_reload,
+            &s.req_shutdown,
+            &s.batches,
+            &s.ok_responses,
+            &s.error_responses,
+            &s.protocol_errors,
+            &s.disconnects_mid_request,
+            &s.reloads,
+            &s.bytes_read,
+            &s.bytes_written,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
     }
+}
+
+/// A point-in-time copy of the serving-path buckets, as returned by
+/// [`Metrics::server_snapshot`]. Served (next to the runtime
+/// [`MetricsSnapshot`]) by the daemon's `MetricsSnapshot` request;
+/// schema documented in `docs/OBSERVABILITY.md` and `docs/SERVING.md`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerSnapshot {
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connection handlers finished (any reason).
+    pub connections_closed: u64,
+    /// Successful `Hello` handshakes.
+    pub hellos_ok: u64,
+    /// `Hello` frames rejected for an unsupported protocol version.
+    pub version_mismatches: u64,
+    /// Decoded requests entering execution (all kinds).
+    pub requests: u64,
+    /// `ListTopologies` requests.
+    pub req_list: u64,
+    /// `Query` requests.
+    pub req_query: u64,
+    /// `Placement` requests.
+    pub req_placement: u64,
+    /// `AllocPlan` requests.
+    pub req_alloc_plan: u64,
+    /// `MetricsSnapshot` requests.
+    pub req_metrics: u64,
+    /// `Reload` admin requests.
+    pub req_reload: u64,
+    /// `Shutdown` admin requests.
+    pub req_shutdown: u64,
+    /// Pipelined batches executed (a batch is >= 1 request).
+    pub batches: u64,
+    /// `Ok` response frames written.
+    pub ok_responses: u64,
+    /// Typed error response frames written.
+    pub error_responses: u64,
+    /// Connections closed for broken framing (malformed frame,
+    /// mid-frame EOF).
+    pub protocol_errors: u64,
+    /// Clients that vanished with a request or response in flight.
+    pub disconnects_mid_request: u64,
+    /// Topology-cache reloads performed.
+    pub reloads: u64,
+    /// Frame bytes read from clients.
+    pub bytes_read: u64,
+    /// Frame bytes written to clients.
+    pub bytes_written: u64,
 }
 
 /// A point-in-time copy of the executor buckets. All fields are plain
@@ -642,6 +876,61 @@ mod tests {
         assert_eq!(d.executor.steals_total, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn server_bucket_counts_and_resets() {
+        let m = Metrics::handle();
+        m.record_conn_opened();
+        m.record_hello_ok();
+        m.record_server_batch();
+        for kind in [
+            ServerRequestKind::List,
+            ServerRequestKind::Query,
+            ServerRequestKind::Query,
+            ServerRequestKind::Placement,
+            ServerRequestKind::AllocPlan,
+            ServerRequestKind::Metrics,
+            ServerRequestKind::Reload,
+            ServerRequestKind::Shutdown,
+        ] {
+            m.record_server_request(kind);
+        }
+        m.record_ok_response();
+        m.record_error_response();
+        m.record_bytes_read(100);
+        m.record_bytes_written(250);
+        m.record_conn_closed();
+        let s = m.server_snapshot();
+        assert_eq!(s.requests, 8);
+        assert_eq!(
+            s.requests,
+            s.req_list
+                + s.req_query
+                + s.req_placement
+                + s.req_alloc_plan
+                + s.req_metrics
+                + s.req_reload
+                + s.req_shutdown
+        );
+        assert_eq!(s.req_query, 2);
+        assert_eq!(s.reloads, 1);
+        assert_eq!(s.bytes_written, 250);
+        // The serving bucket never leaks into the pinned runtime schema.
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.server_snapshot(), ServerSnapshot::default());
+    }
+
+    #[test]
+    fn server_snapshot_serde_round_trips() {
+        let m = Metrics::handle();
+        m.record_conn_opened();
+        let snap = m.server_snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: ServerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

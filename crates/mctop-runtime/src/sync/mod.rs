@@ -11,12 +11,12 @@
 //!   facade is zero-cost — the compiled executor is byte-for-byte the
 //!   code it was before the facade existed.
 //! - **`--features model-check`**: the same names resolve to the
-//!   tracked shim types of [`model`] (this crate's in-repo
+//!   tracked shim types of `model` (this crate's in-repo
 //!   deterministic-interleaving explorer, shaped after `loom` /
 //!   `shuttle`). Each operation becomes a *choice point* where the
-//!   explorer may switch threads, [`model::explore`] drives a
+//!   explorer may switch threads, `model::explore` drives a
 //!   preemption-bounded exhaustive DFS over those schedules, and
-//!   [`model::explore_random`] drives seed-replayable random walks for
+//!   `model::explore_random` drives seed-replayable random walks for
 //!   larger state spaces. Outside an active exploration the shim types
 //!   pass straight through to the `std` originals, so the rest of the
 //!   test suite behaves identically under either feature set.

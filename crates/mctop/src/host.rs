@@ -27,7 +27,7 @@ use crate::alg::probe::Prober;
 /// Extra attempts [`HostProber::measure_pair`] makes after a transient
 /// backend failure (measurement-thread spawn error, short batch).
 const MAX_BACKEND_RETRIES: u32 = 3;
-/// First retry backoff; doubles per attempt up to [`BACKOFF_CAP`].
+/// First retry backoff; doubles per attempt up to `BACKOFF_CAP`.
 const BACKOFF_BASE: Duration = Duration::from_millis(1);
 /// Deterministic backoff ceiling — keeps the worst-case stall per pair
 /// bounded (1 + 2 + 4 ms with the default budget).
@@ -168,8 +168,8 @@ impl HostProber {
 
     /// [`HostProber::measure_batch`] with bounded retry: a transient
     /// failure (spawn error, short batch from a died thread) is retried
-    /// up to [`MAX_BACKEND_RETRIES`] times with exponential backoff
-    /// (deterministically capped at [`BACKOFF_CAP`]), each absorbed
+    /// up to `MAX_BACKEND_RETRIES` times with exponential backoff
+    /// (deterministically capped at `BACKOFF_CAP`), each absorbed
     /// failure counted in [`Prober::backend_retries`]. A persistent
     /// failure degrades to zero samples — like pin failure, the
     /// pipeline keeps running with degraded data rather than dying

@@ -1,0 +1,97 @@
+//! The `mctopd` binary: bind the serving socket and run until a
+//! `Shutdown` request (or SIGTERM kills the process).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mctopd::{
+    DescSource,
+    Server,
+    ServerCfg, //
+};
+
+const USAGE: &str = "\
+mctopd — topology-as-a-service daemon
+
+USAGE:
+    mctopd --socket <path> [--descs <dir>] [--pin <machine>]
+           [--workers <n>] [--os-pin]
+
+OPTIONS:
+    --socket <path>   Unix socket to serve on (required)
+    --descs <dir>     load descriptions from <dir>/<name>.mct.json
+                      (default: the compiled-in library)
+    --pin <machine>   machine whose topology pins the worker team
+                      (default: the first machine in the source)
+    --workers <n>     executor worker count (default: host parallelism)
+    --os-pin          pin worker threads to host CPUs
+    --help            print this help
+";
+
+fn parse_args() -> Result<ServerCfg, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut take = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            return None;
+        }
+        args.remove(i);
+        Some(args.remove(i))
+    };
+    let socket = take("--socket").ok_or("--socket <path> is required")?;
+    let descs = take("--descs");
+    let pin = take("--pin");
+    let workers = match take("--workers") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| format!("invalid worker count `{s}`"))?,
+        ),
+        None => None,
+    };
+    let os_pin = if let Some(i) = args.iter().position(|a| a == "--os-pin") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    Ok(ServerCfg {
+        socket: PathBuf::from(socket),
+        source: match descs {
+            Some(dir) => DescSource::Dir(PathBuf::from(dir)),
+            None => DescSource::Shipped,
+        },
+        pin_desc: pin,
+        workers,
+        os_pin,
+    })
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("mctopd: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let socket = cfg.socket.clone();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mctopd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("mctopd: listening on {}", socket.display());
+    server.start().join();
+    eprintln!("mctopd: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,778 @@
+//! The `mctopd` server: one shared `Arc<TopoView>` per machine,
+//! served to many concurrent clients over a Unix domain socket.
+//!
+//! # Structure
+//!
+//! - An **accept thread** owns the `UnixListener` and spawns one
+//!   handler thread per connection (I/O threads are cheap; they block
+//!   on `read`).
+//! - Request **execution** happens on the shared persistent
+//!   [`Executor`]: each decoded batch becomes one fork-join scope whose
+//!   tasks run on the placement-pinned worker team. I/O threads only
+//!   frame and copy bytes.
+//! - Topology state is the memoizing [`Registry`]: one
+//!   `Arc<TopoView>` per machine, handed to request tasks by clone.
+//!   A `Reload` admin request swaps the cache ([`Registry::clear`]);
+//!   requests already holding an `Arc` finish on the old view, new
+//!   requests load fresh — no locks on the read path beyond the
+//!   registry's read lock.
+//!
+//! # Degradation contract (verified by `tests/faults.rs`)
+//!
+//! - Protocol-version mismatch: typed error frame, connection closed.
+//! - Malformed frame: best-effort error frame, connection closed;
+//!   shared state untouched.
+//! - Client disconnect mid-request: the request is abandoned, the
+//!   handler exits, the server keeps serving everyone else.
+//! - Second daemon on a live socket: [`ServeError::AlreadyRunning`].
+//!   A *stale* socket file (no listener behind it) is removed and
+//!   rebound.
+//! - Shutdown with clients connected: in-flight batches are answered,
+//!   idle connections closed, every thread joined, socket file
+//!   removed.
+
+use std::io::{
+    self,
+    Read,
+    Write, //
+};
+use std::os::unix::net::{
+    UnixListener,
+    UnixStream, //
+};
+use std::panic::{
+    catch_unwind,
+    AssertUnwindSafe, //
+};
+use std::path::{
+    Path,
+    PathBuf, //
+};
+use std::sync::atomic::{
+    AtomicBool,
+    Ordering, //
+};
+use std::sync::{
+    Arc,
+    Mutex, //
+};
+use std::thread::JoinHandle;
+
+use mctop::registry::Registry;
+use mctop_client::wire::{
+    self,
+    ErrorCode,
+    Request,
+    Response,
+    WireError,
+    PROTO_VERSION, //
+};
+use mctop_place::{
+    PlaceOpts,
+    Placement,
+    Policy, //
+};
+use mctop_runtime::{
+    ExecCfg,
+    Executor,
+    Metrics,
+    MetricsSnapshot,
+    ServerRequestKind,
+    ServerSnapshot, //
+};
+use serde::Serialize;
+
+use crate::eval::{
+    self,
+    EvalError, //
+};
+
+/// Read chunk size for connection handlers.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Where the server loads descriptions from.
+#[derive(Debug, Clone)]
+pub enum DescSource {
+    /// The compiled-in `descs/` library.
+    Shipped,
+    /// `<dir>/<name>.mct.json` files.
+    Dir(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerCfg {
+    /// Path of the Unix domain socket to bind.
+    pub socket: PathBuf,
+    /// Description source backing the registry.
+    pub source: DescSource,
+    /// Machine whose topology pins the worker team (`None`: the first
+    /// registry name).
+    pub pin_desc: Option<String>,
+    /// Executor worker count (`None`: host parallelism, capped at 8
+    /// and at the pin machine's context count).
+    pub workers: Option<usize>,
+    /// Pin worker threads to host CPUs (off by default: the modelled
+    /// machines rarely match the host).
+    pub os_pin: bool,
+}
+
+impl ServerCfg {
+    /// A default configuration over the shipped description library.
+    pub fn new(socket: impl Into<PathBuf>) -> ServerCfg {
+        ServerCfg {
+            socket: socket.into(),
+            source: DescSource::Shipped,
+            pin_desc: None,
+            workers: None,
+            os_pin: false,
+        }
+    }
+}
+
+/// Why the server could not start or run.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A live daemon already answers on the socket.
+    AlreadyRunning(PathBuf),
+    /// Binding the socket failed.
+    Bind(io::Error),
+    /// Registry or executor setup failed.
+    Setup(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::AlreadyRunning(p) => {
+                write!(f, "a daemon is already serving on {}", p.display())
+            }
+            ServeError::Bind(e) => write!(f, "binding socket: {e}"),
+            ServeError::Setup(msg) => write!(f, "server setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The JSON body of a `MetricsSnapshot` response: the pinned runtime
+/// schema next to the serving-path bucket.
+#[derive(Serialize)]
+struct ServingSnapshot {
+    runtime: MetricsSnapshot,
+    server: ServerSnapshot,
+}
+
+/// Shared server state: what every connection handler sees.
+struct State {
+    registry: Registry,
+    exec: Executor,
+    metrics: Arc<Metrics>,
+    shutting_down: AtomicBool,
+    /// `try_clone` handles of live connections, used to close their
+    /// read sides on shutdown (which unblocks idle handlers without
+    /// cutting off an in-flight response).
+    conns: Mutex<Vec<UnixStream>>,
+    socket_path: PathBuf,
+}
+
+impl State {
+    /// Flips the shutdown flag once; unblocks the acceptor and every
+    /// idle connection handler. In-flight batches still finish: only
+    /// the *read* sides are shut down.
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` with a throwaway connection.
+        let _ = UnixStream::connect(&self.socket_path);
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// A bound, not-yet-accepting server. [`Server::start`] begins serving.
+pub struct Server {
+    listener: UnixListener,
+    state: Arc<State>,
+}
+
+/// A running server. Stop it with [`ServerHandle::shutdown`] (or a
+/// client `Shutdown` request), then [`ServerHandle::join`].
+pub struct ServerHandle {
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket and arms the worker team.
+    ///
+    /// If the socket path is taken, connects to it to distinguish a
+    /// live daemon ([`ServeError::AlreadyRunning`]) from a stale file
+    /// left by a crash (removed and rebound).
+    pub fn bind(cfg: ServerCfg) -> Result<Server, ServeError> {
+        let registry = match &cfg.source {
+            DescSource::Shipped => Registry::shipped(),
+            DescSource::Dir(dir) => Registry::with_dir(dir.clone()),
+        };
+        let pin_name = match &cfg.pin_desc {
+            Some(name) => name.clone(),
+            None => registry
+                .names()
+                .map_err(|e| ServeError::Setup(e.to_string()))?
+                .first()
+                .cloned()
+                .ok_or_else(|| ServeError::Setup("description source is empty".into()))?,
+        };
+        let view = registry
+            .view(&pin_name)
+            .map_err(|e| ServeError::Setup(format!("pin topology `{pin_name}`: {e}")))?;
+        let workers = cfg
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get().min(8))
+                    .unwrap_or(1)
+            })
+            .min(view.num_hwcs())
+            .max(1);
+        let placement = Placement::with_view(&view, Policy::RrCore, PlaceOpts::threads(workers))
+            .map_err(|e| ServeError::Setup(format!("pin placement: {e}")))?;
+        let metrics = Metrics::handle();
+        let exec = Executor::with_metrics(
+            Some(&view),
+            &placement,
+            ExecCfg {
+                workers: None,
+                os_pin: cfg.os_pin,
+            },
+            Arc::clone(&metrics),
+        );
+
+        let listener = match UnixListener::bind(&cfg.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(&cfg.socket).is_ok() {
+                    return Err(ServeError::AlreadyRunning(cfg.socket));
+                }
+                // Nobody answers: a stale socket file from a dead
+                // daemon. Reclaim it.
+                std::fs::remove_file(&cfg.socket).map_err(ServeError::Bind)?;
+                UnixListener::bind(&cfg.socket).map_err(ServeError::Bind)?
+            }
+            Err(e) => return Err(ServeError::Bind(e)),
+        };
+
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                registry,
+                exec,
+                metrics,
+                shutting_down: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                socket_path: cfg.socket,
+            }),
+        })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn socket_path(&self) -> &Path {
+        &self.state.socket_path
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn start(self) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("mctopd-accept".into())
+            .spawn(move || accept_loop(listener, state))
+            .expect("spawn accept thread");
+        ServerHandle {
+            state: self.state,
+            accept: Some(accept),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Asks the server to stop: equivalent to a client `Shutdown`
+    /// request. Does not wait; pair with [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        self.state.initiate_shutdown();
+    }
+
+    /// Waits until the server has fully stopped: every connection
+    /// handler joined, the executor shut down, the socket file removed.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Shuts down and waits. Convenience for tests and the CLI.
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+
+    /// The metrics handle the server records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.state.metrics
+    }
+
+    /// The socket path the server is bound to.
+    pub fn socket_path(&self) -> &Path {
+        &self.state.socket_path
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.initiate_shutdown();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: UnixListener, state: Arc<State>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        state.metrics.record_conn_opened();
+        if let Ok(clone) = stream.try_clone() {
+            state
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(clone);
+        }
+        let state = Arc::clone(&state);
+        let handler = std::thread::Builder::new()
+            .name("mctopd-conn".into())
+            .spawn(move || {
+                serve_conn(&state, stream);
+                state.metrics.record_conn_closed();
+            })
+            .expect("spawn connection handler");
+        handlers.push(handler);
+    }
+    // Shutdown: the flag is up. Unblock any handler still parked in a
+    // blocking read (covers connections accepted after initiate_shutdown
+    // walked the registry).
+    {
+        let conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    state.exec.shutdown();
+    let _ = std::fs::remove_file(&state.socket_path);
+}
+
+/// How a connection ended, for the failure-class counters.
+enum ConnEnd {
+    /// EOF at a frame boundary, or shutdown drain.
+    Clean,
+    /// The client violated framing; an error frame was attempted and
+    /// the connection dropped.
+    ProtocolError,
+    /// The client vanished mid-request or mid-response.
+    Disconnect,
+}
+
+fn serve_conn(state: &State, mut stream: UnixStream) {
+    let end = serve_conn_inner(state, &mut stream);
+    match end {
+        ConnEnd::Clean => {}
+        ConnEnd::ProtocolError => state.metrics.record_protocol_error(),
+        ConnEnd::Disconnect => state.metrics.record_disconnect_mid_request(),
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Writes one response frame, counting bytes and the response class.
+fn write_response(state: &State, stream: &mut UnixStream, resp: &Response) -> Result<(), ()> {
+    let payload = wire::encode_response(resp);
+    match resp {
+        Response::Ok { .. } => state.metrics.record_ok_response(),
+        Response::Err { .. } => state.metrics.record_error_response(),
+        Response::HelloOk { .. } => {}
+    }
+    state.metrics.record_bytes_written(4 + payload.len() as u64);
+    wire::write_frame(stream, &payload).map_err(|_| ())
+}
+
+fn err_frame(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Err {
+        code,
+        message: message.into(),
+    }
+}
+
+fn serve_conn_inner(state: &State, stream: &mut UnixStream) -> ConnEnd {
+    let mut acc: Vec<u8> = Vec::new();
+
+    // --- handshake: the first frame must be a matching Hello.
+    let first = match next_batch(state, stream, &mut acc) {
+        Ok(Some(frames)) => frames,
+        Ok(None) => return ConnEnd::Clean, // connected, said nothing
+        Err(end) => return end,
+    };
+    let mut rest = first;
+    let hello = rest.remove(0);
+    match wire::decode_request(&hello) {
+        Ok(Request::Hello { version }) if version == PROTO_VERSION => {
+            state.metrics.record_hello_ok();
+            if write_response(
+                state,
+                stream,
+                &Response::HelloOk {
+                    version: PROTO_VERSION,
+                },
+            )
+            .is_err()
+            {
+                return ConnEnd::Disconnect;
+            }
+        }
+        Ok(Request::Hello { version }) => {
+            state.metrics.record_version_mismatch();
+            let _ = write_response(
+                state,
+                stream,
+                &err_frame(
+                    ErrorCode::VersionMismatch,
+                    format!("server speaks protocol v{PROTO_VERSION}, client offered v{version}"),
+                ),
+            );
+            return ConnEnd::Clean; // negotiated close, not a violation
+        }
+        Ok(_) => {
+            let _ = write_response(
+                state,
+                stream,
+                &err_frame(
+                    ErrorCode::MalformedFrame,
+                    "the first frame on a connection must be Hello",
+                ),
+            );
+            return ConnEnd::ProtocolError;
+        }
+        Err(e) => {
+            let _ = write_response(
+                state,
+                stream,
+                &err_frame(ErrorCode::MalformedFrame, e.to_string()),
+            );
+            return ConnEnd::ProtocolError;
+        }
+    }
+
+    // --- request loop: frames pipelined behind the Hello are the
+    // first batch.
+    loop {
+        let frames = if rest.is_empty() {
+            match next_batch(state, stream, &mut acc) {
+                Ok(Some(frames)) => frames,
+                Ok(None) => return ConnEnd::Clean,
+                Err(end) => return end,
+            }
+        } else {
+            std::mem::take(&mut rest)
+        };
+
+        // Decode the whole batch; a malformed frame truncates it (the
+        // valid prefix is still answered) and closes the connection
+        // after the responses.
+        let mut requests: Vec<Request> = Vec::with_capacity(frames.len());
+        let mut malformed: Option<WireError> = None;
+        for frame in &frames {
+            match wire::decode_request(frame) {
+                Ok(req) => requests.push(req),
+                Err(e) => {
+                    malformed = Some(e);
+                    break;
+                }
+            }
+        }
+
+        let (responses, saw_shutdown) = execute_batch(state, &requests);
+        for resp in &responses {
+            if write_response(state, stream, resp).is_err() {
+                return ConnEnd::Disconnect;
+            }
+        }
+        if stream.flush().is_err() {
+            return ConnEnd::Disconnect;
+        }
+        if let Some(e) = malformed {
+            let _ = write_response(
+                state,
+                stream,
+                &err_frame(ErrorCode::MalformedFrame, e.to_string()),
+            );
+            return ConnEnd::ProtocolError;
+        }
+        if saw_shutdown {
+            state.initiate_shutdown();
+            return ConnEnd::Clean;
+        }
+    }
+}
+
+/// Reads until at least one complete frame is buffered, then drains
+/// every complete frame already available — the pipelining batch.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (including
+/// the shutdown drain), `Err` with the failure class otherwise.
+fn next_batch(
+    state: &State,
+    stream: &mut UnixStream,
+    acc: &mut Vec<u8>,
+) -> Result<Option<Vec<Vec<u8>>>, ConnEnd> {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        let (frames, err) = wire::drain_frames(acc);
+        if let Some(e) = err {
+            // Oversized length prefix: answer what was valid, then cut.
+            let _ = write_response(
+                state,
+                stream,
+                &err_frame(ErrorCode::MalformedFrame, e.to_string()),
+            );
+            // The valid prefix is dropped here (not executed): framing
+            // is already lost, and a client that overflows the length
+            // field gets no partial service.
+            let _ = frames;
+            return Err(ConnEnd::ProtocolError);
+        }
+        if !frames.is_empty() {
+            // Opportunistic scoop: grab frames that already arrived
+            // without blocking, so a pipelined burst runs as one batch.
+            let mut frames = frames;
+            if stream.set_nonblocking(true).is_ok() {
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            state.metrics.record_bytes_read(n as u64);
+                            acc.extend_from_slice(&chunk[..n]);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+                let _ = stream.set_nonblocking(false);
+                let (more, err) = wire::drain_frames(acc);
+                frames.extend(more);
+                if let Some(e) = err {
+                    // Serve the valid batch now; the poisoned tail cuts
+                    // the connection on the next call.
+                    acc.clear();
+                    acc.extend_from_slice(&(u32::MAX).to_le_bytes());
+                    let _ = e;
+                }
+            }
+            return Ok(Some(frames));
+        }
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if acc.is_empty() {
+                    Ok(None)
+                } else {
+                    // EOF inside a frame: the client vanished
+                    // mid-request.
+                    Err(ConnEnd::Disconnect)
+                };
+            }
+            Ok(n) => {
+                state.metrics.record_bytes_read(n as u64);
+                acc.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ConnEnd::Disconnect),
+        }
+    }
+}
+
+/// Runs one batch on the shared executor and returns the responses in
+/// request order, plus whether a `Shutdown` admin request was seen.
+fn execute_batch(state: &State, requests: &[Request]) -> (Vec<Response>, bool) {
+    if requests.is_empty() {
+        return (Vec::new(), false);
+    }
+    state.metrics.record_server_batch();
+    let mut slots: Vec<Option<Response>> = Vec::with_capacity(requests.len());
+    slots.resize_with(requests.len(), || None);
+
+    let scope_result = catch_unwind(AssertUnwindSafe(|| {
+        state.exec.try_scope(|s| {
+            for (slot, req) in slots.iter_mut().zip(requests) {
+                s.spawn(move || {
+                    *slot = Some(answer(state, req));
+                });
+            }
+        })
+    }));
+
+    let responses: Vec<Response> = match scope_result {
+        Ok(Ok(())) => slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    err_frame(ErrorCode::Internal, "request task did not complete")
+                })
+            })
+            .collect(),
+        Ok(Err(_shutdown)) => requests
+            .iter()
+            .map(|_| err_frame(ErrorCode::ShuttingDown, "server is shutting down"))
+            .collect(),
+        // A panicking request poisons only its own slot: the scope ran
+        // every task to completion before rethrowing, so sibling
+        // responses are intact.
+        Err(_panic) => slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| err_frame(ErrorCode::Internal, "request handler panicked"))
+            })
+            .collect(),
+    };
+    let saw_shutdown = requests.iter().any(|r| matches!(r, Request::Shutdown));
+    (responses, saw_shutdown)
+}
+
+/// Answers one request. Runs on an executor worker.
+fn answer(state: &State, req: &Request) -> Response {
+    let eval_err = |e: EvalError| err_frame(ErrorCode::BadRequest, e.message());
+    match req {
+        Request::Hello { .. } => err_frame(
+            ErrorCode::BadRequest,
+            "Hello is only valid as the first frame of a connection",
+        ),
+        Request::ListTopologies => {
+            state.metrics.record_server_request(ServerRequestKind::List);
+            match eval::list_text(&state.registry) {
+                Ok(text) => Response::Ok {
+                    body: text.into_bytes(),
+                },
+                Err(e) => eval_err(e),
+            }
+        }
+        Request::Query { desc, query, args } => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::Query);
+            if query == "metrics" {
+                return err_frame(
+                    ErrorCode::BadRequest,
+                    "`metrics` is served by the MetricsSnapshot request",
+                );
+            }
+            let view = match eval::resolve_view(&state.registry, desc) {
+                Ok(v) => v,
+                Err(e) => return eval_err(e),
+            };
+            match eval::query_text(&view, query, args) {
+                Ok(text) => Response::Ok {
+                    body: text.into_bytes(),
+                },
+                Err(e) => eval_err(e),
+            }
+        }
+        Request::Placement {
+            desc,
+            policy,
+            workers,
+        } => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::Placement);
+            let view = match eval::resolve_view(&state.registry, desc) {
+                Ok(v) => v,
+                Err(e) => return eval_err(e),
+            };
+            let n = if *workers == 0 {
+                view.num_hwcs()
+            } else {
+                *workers as usize
+            };
+            match eval::placement_text(&view, policy, n) {
+                Ok(text) => Response::Ok {
+                    body: text.into_bytes(),
+                },
+                Err(e) => eval_err(e),
+            }
+        }
+        Request::AllocPlan {
+            desc,
+            policy,
+            workers,
+        } => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::AllocPlan);
+            let view = match eval::resolve_view(&state.registry, desc) {
+                Ok(v) => v,
+                Err(e) => return eval_err(e),
+            };
+            let n = if *workers == 0 {
+                view.num_hwcs()
+            } else {
+                *workers as usize
+            };
+            match eval::alloc_plan_text(&view, policy, n) {
+                Ok(text) => Response::Ok {
+                    body: text.into_bytes(),
+                },
+                Err(e) => eval_err(e),
+            }
+        }
+        Request::MetricsSnapshot => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::Metrics);
+            let snap = ServingSnapshot {
+                runtime: state.metrics.snapshot(),
+                server: state.metrics.server_snapshot(),
+            };
+            match serde_json::to_string_pretty(&snap) {
+                Ok(json) => Response::Ok {
+                    body: (json + "\n").into_bytes(),
+                },
+                Err(e) => err_frame(ErrorCode::Internal, format!("serializing snapshot: {e}")),
+            }
+        }
+        Request::Reload => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::Reload);
+            state.registry.clear();
+            Response::Ok { body: Vec::new() }
+        }
+        Request::Shutdown => {
+            state
+                .metrics
+                .record_server_request(ServerRequestKind::Shutdown);
+            Response::Ok { body: Vec::new() }
+        }
+    }
+}
