@@ -1,0 +1,212 @@
+//! Mesh-scale inference benchmark: the NoC ladder (2D meshes and
+//! multiplicative circulants, 64 to 256 sockets), emitted as
+//! `BENCH_scale.json` for the CI bench trajectory.
+//!
+//! Usage: `scale_inference [OUT_PATH]` (default `BENCH_scale.json`).
+//!
+//! Per machine:
+//!
+//! - **pairs_probed / pairs_exhaustive** — the pruned collection plan
+//!   (neighborhood ball + stride chords + hashed samples) against the
+//!   full upper triangle; reconstruction is exact, so both plans yield
+//!   the same topology.
+//! - **infer wall times** — pruned vs exhaustive canonical inference
+//!   over the noiseless oracle.
+//! - **dense / sparse view rows** — build time, resident bytes fresh
+//!   and after the query workload (dense matrices build lazily, so the
+//!   touched number is the honest one), and per-query latency
+//!   percentiles over a deterministic mixed workload.
+//!
+//! The scaling gates at the bottom are the point of this bench: probed
+//! pairs and sparse resident bytes must grow subquadratically along the
+//! mesh ladder, and the big mesh must stay under a quarter of the
+//! exhaustive pair count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mctop::alg::probe::PairSelection;
+use mctop::backend::SimProber;
+use mctop::desc;
+use mctop::view::{
+    TopoView,
+    ViewBackend, //
+};
+use serde::Serialize;
+
+const QUERIES: usize = 20_000;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    queries_per_view: usize,
+    machines: Vec<MachineRow>,
+}
+
+#[derive(Serialize)]
+struct MachineRow {
+    preset: String,
+    sockets: usize,
+    contexts: usize,
+    pairs_exhaustive: u64,
+    pairs_probed: u64,
+    probed_frac: f64,
+    infer_pruned_ms: f64,
+    infer_exhaustive_ms: f64,
+    dense: ViewRow,
+    sparse: ViewRow,
+}
+
+#[derive(Serialize)]
+struct ViewRow {
+    build_ms: f64,
+    resident_bytes_fresh: usize,
+    resident_bytes_touched: usize,
+    query_p50_ns: u64,
+    query_p99_ns: u64,
+}
+
+/// Runs canonical inference (noiseless oracle, 8 collection workers)
+/// and returns the topology, measured pair count, and wall time.
+fn infer(spec: &mcsim::MachineSpec, pairs: PairSelection) -> (mctop::Mctop, u64, f64) {
+    let cfg = mctop::ProbeConfig {
+        pairs,
+        ..desc::canonical_probe_config_for(spec)
+    };
+    let mut prober = SimProber::noiseless(spec);
+    let start = Instant::now();
+    let inf = mctop::alg::run_full_jobs(&mut prober, &cfg, 8).expect("inference succeeds");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (inf.topology, inf.stats.pairs, wall_ms)
+}
+
+/// Builds a view on the given backend and drives the deterministic
+/// query workload through it, timing each query.
+fn bench_view(topo: &mctop::Mctop, backend: ViewBackend) -> ViewRow {
+    let start = Instant::now();
+    let view = TopoView::with_backend(Arc::new(topo.clone()), backend);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let fresh = view.resident_bytes();
+
+    let s = view.num_sockets();
+    let mut samples = Vec::with_capacity(QUERIES);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (s as u64);
+    let mut next = move || {
+        // splitmix64: deterministic pair stream, identical per backend.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut sink = 0u64;
+    for q in 0..QUERIES {
+        let r = next();
+        let (a, b) = ((r as usize) % s, ((r >> 32) as usize) % s);
+        let t = Instant::now();
+        sink = sink.wrapping_add(match q % 4 {
+            0 => view.socket_latency(a, b) as u64,
+            1 => view.socket_hops(a, b) as u64,
+            2 => view.cross_bandwidth(a, b).unwrap_or(0.0) as u64,
+            _ => view.closest_sockets(a).first().copied().unwrap_or(0) as u64,
+        });
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    std::hint::black_box(sink);
+    samples.sort_unstable();
+    ViewRow {
+        build_ms,
+        resident_bytes_fresh: fresh,
+        resident_bytes_touched: view.resident_bytes(),
+        query_p50_ns: samples[QUERIES / 2],
+        query_p99_ns: samples[QUERIES * 99 / 100],
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale.json".into());
+
+    let mut machines = Vec::new();
+    for spec in mcsim::presets::all_mesh_scale() {
+        let n = spec.total_hwcs();
+        let pairs_exhaustive = (n * (n - 1) / 2) as u64;
+        let (topo, pairs_probed, infer_pruned_ms) =
+            infer(&spec, desc::canonical_probe_config_for(&spec).pairs);
+        let (exh_topo, exh_pairs, infer_exhaustive_ms) = infer(&spec, PairSelection::Exhaustive);
+        assert_eq!(exh_pairs, pairs_exhaustive, "{}: full plan", spec.name);
+        // Reconstruction exactness, end to end: the pruned run infers
+        // the very same topology the exhaustive run does.
+        assert_eq!(topo, exh_topo, "{}: pruned inference diverges", spec.name);
+
+        let row = MachineRow {
+            preset: spec.name.clone(),
+            sockets: spec.sockets,
+            contexts: n,
+            pairs_exhaustive,
+            pairs_probed,
+            probed_frac: pairs_probed as f64 / pairs_exhaustive as f64,
+            infer_pruned_ms,
+            infer_exhaustive_ms,
+            dense: bench_view(&topo, ViewBackend::Dense),
+            sparse: bench_view(&topo, ViewBackend::Sparse),
+        };
+        eprintln!(
+            "{:<20} {:>3} sockets  pairs {:>6}/{:>6} ({:>5.1}%)  infer {:>7.1} ms \
+             (exhaustive {:>7.1} ms)  sparse {:>8} B / dense {:>8} B touched",
+            row.preset,
+            row.sockets,
+            row.pairs_probed,
+            row.pairs_exhaustive,
+            100.0 * row.probed_frac,
+            row.infer_pruned_ms,
+            row.infer_exhaustive_ms,
+            row.sparse.resident_bytes_touched,
+            row.dense.resident_bytes_touched,
+        );
+        machines.push(row);
+    }
+
+    // The scaling gates. The mesh ladder runs 64 -> 144 -> 256 sockets;
+    // quadratic growth from mesh-64 to mesh-256 would be 16x in socket
+    // pairs (and ~16x in context pairs).
+    let by_name = |name: &str| {
+        machines
+            .iter()
+            .find(|m| m.preset == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    let (small, big) = (by_name("synth-mesh-64"), by_name("synth-mesh-256"));
+    assert!(
+        big.probed_frac <= 0.25,
+        "mesh-256 probed fraction {:.3} above the 25% budget",
+        big.probed_frac
+    );
+    let pair_growth = big.pairs_probed as f64 / small.pairs_probed as f64;
+    assert!(
+        pair_growth < 8.0,
+        "probed pairs grew {pair_growth:.2}x from mesh-64 to mesh-256 (quadratic would be 16x)"
+    );
+    // Fresh bytes are the subquadratic claim: what the sparse store
+    // costs to hold a topology resident. Touched bytes are recorded
+    // but not gated — the workload asks `closest_sockets` of every
+    // socket, and caching every socket's full neighbor order is
+    // Ω(sockets²) by the size of the answers themselves.
+    let byte_growth =
+        big.sparse.resident_bytes_fresh as f64 / small.sparse.resident_bytes_fresh as f64;
+    assert!(
+        byte_growth < 8.0,
+        "sparse resident bytes grew {byte_growth:.2}x from mesh-64 to mesh-256 \
+         (quadratic would be 16x)"
+    );
+
+    let report = Report {
+        bench: "scale",
+        queries_per_view: QUERIES,
+        machines,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -6,9 +6,13 @@
 //! less than twice a 1-hop latency (e.g. Westmere: 341 cy direct vs
 //! 458 cy over two hops).
 
+use std::sync::OnceLock;
+
 use serde::{
+    DeError,
     Deserialize,
-    Serialize, //
+    Serialize,
+    Value, //
 };
 
 /// A direct link between two sockets.
@@ -26,8 +30,18 @@ pub struct Link {
     pub bandwidth: f64,
 }
 
+/// One entry of the all-pairs routing table: cheapest-path wire
+/// latency, hop count, and the weakest link bandwidth along the path
+/// the relaxation chose.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    wire: u32,
+    hops: u32,
+    min_bw: f64,
+}
+
 /// The interconnect: a weighted graph over sockets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Interconnect {
     /// Number of sockets.
     pub sockets: usize,
@@ -35,16 +49,52 @@ pub struct Interconnect {
     pub overhead: u32,
     /// Direct links (undirected).
     pub links: Vec<Link>,
+    /// Lazily built all-pairs routing table (row-major by source).
+    /// Mesh-scale graphs issue millions of latency/hop queries during
+    /// inference; recomputing the relaxation per query made collection
+    /// quadratic-times-quadratic. Derived state: never serialized,
+    /// never compared.
+    routes: OnceLock<Vec<Route>>,
+}
+
+impl PartialEq for Interconnect {
+    fn eq(&self, other: &Self) -> bool {
+        self.sockets == other.sockets
+            && self.overhead == other.overhead
+            && self.links == other.links
+    }
+}
+
+impl Serialize for Interconnect {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("sockets".to_string(), self.sockets.to_value()),
+            ("overhead".to_string(), self.overhead.to_value()),
+            ("links".to_string(), self.links.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Interconnect {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Interconnect {
+            sockets: serde::__field(v, "sockets")?,
+            overhead: serde::__field(v, "overhead")?,
+            links: serde::__field(v, "links")?,
+            routes: OnceLock::new(),
+        })
+    }
 }
 
 impl Interconnect {
-    /// Builds an interconnect and precomputes nothing; queries run
-    /// Dijkstra on demand (socket counts are tiny).
+    /// Builds an interconnect. Routing queries fill an all-pairs table
+    /// on first use.
     pub fn new(sockets: usize, overhead: u32, links: Vec<Link>) -> Self {
         let ic = Interconnect {
             sockets,
             overhead,
             links,
+            routes: OnceLock::new(),
         };
         ic.assert_connected();
         ic
@@ -106,35 +156,60 @@ impl Interconnect {
         })
     }
 
-    /// Cheapest-path wire latency (without the fixed overhead) and hop
-    /// count from `src` to `dst`. Ties in wire latency are broken toward
-    /// fewer hops.
-    fn dijkstra(&self, src: usize, dst: usize) -> (u32, usize) {
-        assert!(src < self.sockets && dst < self.sockets);
-        if src == dst {
-            return (0, 0);
-        }
-        let mut best: Vec<Option<(u32, usize)>> = vec![None; self.sockets];
-        best[src] = Some((0, 0));
-        // The graphs are tiny (<= 8 sockets): a simple relaxation loop is
-        // clearer than a binary heap and plenty fast.
-        for _ in 0..self.sockets {
-            let mut changed = false;
-            for s in 0..self.sockets {
-                let Some((w, h)) = best[s] else { continue };
-                for (next, link) in self.neighbors(s) {
-                    let cand = (w + link.wire, h + 1);
-                    if best[next].is_none_or(|cur| cand < cur) {
-                        best[next] = Some(cand);
-                        changed = true;
+    /// The all-pairs routing table, built on first use.
+    ///
+    /// Each source row runs the same Gauss-Seidel relaxation the
+    /// original on-demand search used — including its sweep order over
+    /// sockets and its per-socket link order — because the bandwidth
+    /// carried along equal-`(wire, hops)` paths depends on which path
+    /// reaches the fixpoint key first. Committed description files pin
+    /// those bandwidths, so the sweep is replicated verbatim, only with
+    /// adjacency lists instead of a full link scan per socket.
+    fn routes(&self) -> &[Route] {
+        self.routes.get_or_init(|| {
+            let adj: Vec<Vec<(usize, u32, f64)>> = (0..self.sockets)
+                .map(|s| {
+                    self.neighbors(s)
+                        .map(|(n, l)| (n, l.wire, l.bandwidth))
+                        .collect()
+                })
+                .collect();
+            let mut table = Vec::with_capacity(self.sockets * self.sockets);
+            for src in 0..self.sockets {
+                let mut best: Vec<Option<(u32, usize, f64)>> = vec![None; self.sockets];
+                best[src] = Some((0, 0, f64::INFINITY));
+                for _ in 0..self.sockets {
+                    let mut changed = false;
+                    for s in 0..self.sockets {
+                        let Some((w, h, bw)) = best[s] else { continue };
+                        for &(next, wire, link_bw) in &adj[s] {
+                            let cand = (w + wire, h + 1, bw.min(link_bw));
+                            if best[next].is_none_or(|cur| (cand.0, cand.1) < (cur.0, cur.1)) {
+                                best[next] = Some(cand);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
                     }
                 }
+                for entry in best.iter().take(self.sockets) {
+                    let (wire, hops, min_bw) = entry.expect("graph is connected");
+                    table.push(Route {
+                        wire,
+                        hops: hops as u32,
+                        min_bw,
+                    });
+                }
             }
-            if !changed {
-                break;
-            }
-        }
-        best[dst].expect("graph is connected")
+            table
+        })
+    }
+
+    fn route(&self, src: usize, dst: usize) -> Route {
+        assert!(src < self.sockets && dst < self.sockets);
+        self.routes()[src * self.sockets + dst]
     }
 
     /// End-to-end context-to-context latency across sockets, cycles.
@@ -142,14 +217,13 @@ impl Interconnect {
         if src == dst {
             return 0;
         }
-        let (wire, _) = self.dijkstra(src, dst);
-        self.overhead + wire
+        self.overhead + self.route(src, dst).wire
     }
 
     /// Number of hops on the cheapest path (0 for `src == dst`, 1 for a
-    /// direct link).
+    /// direct link). Ties in wire latency are broken toward fewer hops.
     pub fn hops(&self, src: usize, dst: usize) -> usize {
-        self.dijkstra(src, dst).1
+        self.route(src, dst).hops as usize
     }
 
     /// Whether two sockets share a direct link.
@@ -166,28 +240,8 @@ impl Interconnect {
         if src == dst {
             return f64::INFINITY;
         }
-        // Recover the path by walking predecessors of the relaxation;
-        // for simplicity re-run a tiny search tracking paths.
-        let mut best: Vec<Option<(u32, usize, f64)>> = vec![None; self.sockets];
-        best[src] = Some((0, 0, f64::INFINITY));
-        for _ in 0..self.sockets {
-            let mut changed = false;
-            for s in 0..self.sockets {
-                let Some((w, h, bw)) = best[s] else { continue };
-                for (next, link) in self.neighbors(s) {
-                    let cand = (w + link.wire, h + 1, bw.min(link.bandwidth));
-                    if best[next].is_none_or(|cur| (cand.0, cand.1) < (cur.0, cur.1)) {
-                        best[next] = Some(cand);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        let (_, hops, min_bw) = best[dst].expect("graph is connected");
-        min_bw / hops.max(1) as f64
+        let r = self.route(src, dst);
+        r.min_bw / (r.hops.max(1) as f64)
     }
 
     /// All distinct cross-socket latency values, ascending.

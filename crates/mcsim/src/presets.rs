@@ -385,9 +385,12 @@ pub fn all_paper_platforms() -> Vec<MachineSpec> {
     vec![ivy(), opteron(), haswell(), westmere(), sparc()]
 }
 
-/// Looks up a platform (paper or synthetic) by name.
+/// Looks up a platform (paper, synthetic, or mesh-scale) by name.
 pub fn by_name(name: &str) -> Option<MachineSpec> {
-    let all = all_paper_platforms().into_iter().chain(all_synthetic());
+    let all = all_paper_platforms()
+        .into_iter()
+        .chain(all_synthetic())
+        .chain(all_mesh_scale());
     all.into_iter().find(|m| m.name == name)
 }
 
@@ -655,6 +658,155 @@ pub fn all_synthetic() -> Vec<MachineSpec> {
     ]
 }
 
+/// Shared body of the NoC-scale presets: tiny 2-core tiles, one tile
+/// per socket, four shared memory controller nodes, socket-major
+/// numbering (tile = context id / 2 — the structure-exploiting
+/// collection in `mctop::alg` relies on that).
+///
+/// Uniform wire latency and bandwidth on every hop keep the
+/// weakest-link path bandwidth independent of which of several
+/// shortest paths the router picks, so the model stays well-defined
+/// at any scale.
+fn noc(name: String, sockets: usize, links: Vec<Link>, node_of: Vec<usize>) -> MachineSpec {
+    MachineSpec {
+        name,
+        freq_ghz: 1.5,
+        sockets,
+        cores_per_socket: 2,
+        smt_per_core: 1,
+        nodes: 4,
+        smt_latency: 0,
+        intra_levels: vec![IntraLevel {
+            group_cores: 2,
+            latency: 90,
+        }],
+        interconnect: Interconnect::new(sockets, 150, links),
+        caches: vec![
+            CacheLevel {
+                name: "L1".into(),
+                size: 16 * KB,
+                latency: 3,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                name: "L2".into(),
+                size: 128 * KB,
+                latency: 10,
+                shared_by_cores: 1,
+            },
+            CacheLevel {
+                name: "LLC".into(),
+                size: MB,
+                latency: 30,
+                shared_by_cores: 2,
+            },
+        ],
+        mem: MemSpec {
+            node_capacity_gb: 8.0,
+            local_latency: 200,
+            hop_penalty: 30,
+            local_bandwidth: 12.0,
+            remote_bandwidth: 6.0,
+            per_core_stream_bw: 3.0,
+        },
+        power: PowerSpec {
+            socket_base_w: 0.8,
+            core_w: 0.4,
+            smt_w: 0.0,
+            dram_w: 10.0,
+            has_rapl: false,
+        },
+        numbering: Numbering::SocketMajor,
+        local_node_of_socket: node_of.clone(),
+        os_node_of_socket: node_of,
+    }
+}
+
+/// A `side x side` 2D mesh NoC: one 2-core tile per grid point,
+/// 4-neighbour links, memory controllers in the four quadrants.
+/// Latency between tiles is `150 + 60 * hops` — one distinct level per
+/// Manhattan distance.
+pub fn mesh(side: usize) -> MachineSpec {
+    assert!(
+        side >= 2 && side.is_multiple_of(2),
+        "mesh side must be even and >= 2"
+    );
+    let sockets = side * side;
+    let mut links = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            let s = y * side + x;
+            if x + 1 < side {
+                links.push(Link {
+                    a: s,
+                    b: s + 1,
+                    wire: 60,
+                    bandwidth: 8.0,
+                });
+            }
+            if y + 1 < side {
+                links.push(Link {
+                    a: s,
+                    b: s + side,
+                    wire: 60,
+                    bandwidth: 8.0,
+                });
+            }
+        }
+    }
+    let node_of = (0..sockets)
+        .map(|s| {
+            let (x, y) = (s % side, s / side);
+            usize::from(y >= side / 2) * 2 + usize::from(x >= side / 2)
+        })
+        .collect();
+    noc(format!("synth-mesh-{sockets}"), sockets, links, node_of)
+}
+
+/// A multiplicative circulant NoC `C(n; 1, m, m^2, ...)`: tile `i`
+/// links to `i +- m^j (mod n)` for every power of `m` below `n`. The
+/// generator ladder gives logarithmic diameter — the "Routing in
+/// Networks on Chip with Multiplicative Circulant Topology" family.
+pub fn multiplicative_circulant(n: usize, m: usize) -> MachineSpec {
+    assert!(m >= 2, "multiplier must be >= 2");
+    let mut gens = Vec::new();
+    let mut g = 1usize;
+    while g < n {
+        // Generators below n/2 only: g and n-g induce the same chords.
+        assert!(g * 2 < n, "generator {g} degenerate for ring size {n}");
+        gens.push(g);
+        g *= m;
+    }
+    let mut links = Vec::new();
+    for &g in &gens {
+        for i in 0..n {
+            let (a, b) = (i, (i + g) % n);
+            links.push(Link {
+                a: a.min(b),
+                b: a.max(b),
+                wire: 60,
+                bandwidth: 8.0,
+            });
+        }
+    }
+    let node_of = (0..n).map(|s| s / n.div_ceil(4)).collect();
+    noc(format!("synth-circulant-{n}"), n, links, node_of)
+}
+
+/// The NoC-scale ladder: committed as descriptions and tracked by the
+/// `scale_inference` bench, but deliberately *not* part of
+/// [`all_synthetic`] — only the smallest two are compiled into the
+/// shipped registry.
+pub fn all_mesh_scale() -> Vec<MachineSpec> {
+    vec![
+        mesh(8),
+        mesh(12),
+        mesh(16),
+        multiplicative_circulant(64, 4),
+        multiplicative_circulant(256, 4),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +871,52 @@ mod tests {
             assert_eq!(found.total_hwcs(), m.total_hwcs());
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn mesh_latency_is_manhattan_distance() {
+        let m = mesh(8);
+        assert_eq!(m.sockets, 64);
+        assert_eq!(m.total_hwcs(), 128);
+        // Corner to corner: 7 + 7 = 14 hops.
+        assert_eq!(m.interconnect.hops(0, 63), 14);
+        assert_eq!(m.cross_latency(0, 63), 150 + 60 * 14);
+        // Neighbours: one hop.
+        assert_eq!(m.cross_latency(0, 1), 210);
+        assert_eq!(m.cross_latency(0, 8), 210);
+        // One latency level per Manhattan distance 1..=14.
+        let levels = m.interconnect.latency_levels();
+        assert_eq!(levels.len(), 14);
+        assert!(levels.windows(2).all(|w| w[1] - w[0] == 60));
+    }
+
+    #[test]
+    fn circulant_diameter_is_logarithmic() {
+        let c = multiplicative_circulant(256, 4);
+        assert_eq!(c.sockets, 256);
+        // Chords 1, 4, 16, 64 in both directions: degree 8.
+        let deg0 = c
+            .interconnect
+            .links
+            .iter()
+            .filter(|l| l.a == 0 || l.b == 0)
+            .count();
+        assert_eq!(deg0, 8);
+        let diameter = (0..c.sockets)
+            .map(|s| c.interconnect.hops(0, s))
+            .max()
+            .unwrap();
+        assert!(diameter <= 8, "diameter {diameter} not logarithmic");
+    }
+
+    #[test]
+    fn mesh_scale_presets_pass_check() {
+        for spec in all_mesh_scale() {
+            spec.check()
+                .unwrap_or_else(|e| panic!("{}: {}", spec.name, e));
+            let found = by_name(&spec.name).expect("mesh-scale preset by name");
+            assert_eq!(found, spec);
+        }
     }
 
     #[test]

@@ -54,9 +54,10 @@ mct — MCTOP description tooling (infer once, store, load everywhere)
 USAGE:
     mct list
     mct infer <machine> [--seed N] [--reps N] [--jobs N] [--adaptive]
-                        [--no-enrich] [--out PATH] [--stdout]
+                        [--exhaustive] [--no-enrich] [--out PATH]
+                        [--stdout]
     mct validate <desc>...
-    mct show <desc> [--format text|dot|summary]
+    mct show <desc> [--format text|dot|summary] [--stats]
     mct query [--remote SOCKET] <desc> <query> [args...]
     mct diff <a> <b>
     mct regen-descs [--dir DIR] [--check] [--jobs N]
@@ -210,6 +211,7 @@ fn cmd_infer(args: &[String]) -> Result<(), CliError> {
     let out = take_flag(&mut args, "--out")?.map(PathBuf::from);
     let no_enrich = take_switch(&mut args, "--no-enrich");
     let adaptive = take_switch(&mut args, "--adaptive");
+    let exhaustive = take_switch(&mut args, "--exhaustive");
     let to_stdout = take_switch(&mut args, "--stdout");
     if reps == Some(0) {
         return Err(CliError::Usage("--reps must be at least 1".into()));
@@ -235,20 +237,33 @@ fn cmd_infer(args: &[String]) -> Result<(), CliError> {
     // With no overrides this is exactly the canonical pipeline behind
     // `descs/` — reuse it so `mct infer <machine>` can never diverge
     // from `mct regen-descs` output (only the generator string differs).
-    let (topo, prov) = if seed.is_none() && reps.is_none() && !no_enrich && !adaptive {
+    let (topo, prov) = if seed.is_none() && reps.is_none() && !no_enrich && !adaptive && !exhaustive
+    {
         desc::canonical_jobs(&spec, jobs)?
     } else {
         // Noiseless by default (deterministic); --seed switches to the
         // noisy backend, which also needs the full repetition count.
+        // Either way start from the machine's canonical config so
+        // mesh-scale presets keep their pruned collection plan and
+        // cluster thresholds.
         let mut cfg = match seed {
-            Some(_) => mctop::ProbeConfig::fast(),
-            None => desc::canonical_probe_config(),
+            Some(_) => mctop::ProbeConfig {
+                reps: mctop::ProbeConfig::fast().reps,
+                ..desc::canonical_probe_config_for(&spec)
+            },
+            None => desc::canonical_probe_config_for(&spec),
         };
         if let Some(reps) = reps {
             cfg.reps = reps;
         }
         if adaptive {
             cfg.adaptive = Some(mctop::AdaptiveCfg::default());
+        }
+        if exhaustive {
+            // Opt out of the pruned plan: probe every context pair.
+            // Reconstruction is exact, so on the synthetic models this
+            // only changes the pair count, never a byte of the output.
+            cfg.pairs = mctop::PairSelection::Exhaustive;
         }
         let mut topo = match seed {
             Some(seed) => {
@@ -307,10 +322,15 @@ fn cmd_validate(args: &[String]) -> Result<(), CliError> {
 fn cmd_show(args: &[String]) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?.unwrap_or_else(|| "text".into());
+    let stats = take_switch(&mut args, "--stats");
     let [target] = args.as_slice() else {
         return Err(CliError::Usage("show takes exactly one <desc>".into()));
     };
     let (topo, _) = resolve::load(target)?;
+    if stats {
+        print!("{}", show_stats(&topo));
+        return Ok(());
+    }
     match format.as_str() {
         "text" => print!("{}", mctop::fmt::text::render(&topo)),
         "dot" => print!("{}", mctop::fmt::dot::full(&topo)),
@@ -322,6 +342,46 @@ fn cmd_show(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `mct show --stats`: the scale-relevant numbers of a topology — how
+/// much probing its canonical inference costs and how much memory its
+/// query view keeps resident. Everything printed is deterministic (the
+/// view is fresh, so no lazily built matrix is counted).
+fn show_stats(topo: &mctop::Mctop) -> String {
+    use std::fmt::Write as _;
+
+    let n = topo.num_hwcs();
+    let total = n * (n - 1) / 2;
+    // The probed-pair count comes from the canonical collection plan of
+    // the matching machine model; a desc without a model (foreign file)
+    // is reported as exhaustively probed.
+    let probed = mcsim::presets::by_name(&topo.name)
+        .and_then(|spec| match desc::canonical_probe_config_for(&spec).pairs {
+            mctop::PairSelection::Pruned(pc) => mctop::alg::probe::pruned_pairs(n, &pc),
+            mctop::PairSelection::Exhaustive => None,
+        })
+        .map(|pairs| pairs.len())
+        .unwrap_or(total);
+    let view = mctop::TopoView::new(std::sync::Arc::new(topo.clone()));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "machine:         {}", topo.name);
+    let _ = writeln!(out, "sockets:         {}", topo.num_sockets());
+    let _ = writeln!(out, "cores:           {}", topo.num_cores());
+    let _ = writeln!(out, "contexts:        {}", topo.num_hwcs());
+    let _ = writeln!(out, "nodes:           {}", topo.num_nodes());
+    let _ = writeln!(out, "latency levels:  {}", topo.levels.len());
+    let _ = writeln!(out, "links:           {}", topo.links.len());
+    let _ = writeln!(out, "pairs total:     {total}");
+    let _ = writeln!(
+        out,
+        "pairs probed:    {probed} ({:.1}%)",
+        100.0 * probed as f64 / total.max(1) as f64
+    );
+    let _ = writeln!(out, "view backend:    {}", view.backend().name());
+    let _ = writeln!(out, "resident bytes:  {}", view.resident_bytes());
+    out
 }
 
 fn cmd_diff(args: &[String]) -> Result<(), CliError> {
@@ -392,6 +452,7 @@ fn cmd_regen(args: &[String]) -> Result<(), CliError> {
     let specs: Vec<mcsim::MachineSpec> = mcsim::presets::all_paper_platforms()
         .into_iter()
         .chain(mcsim::presets::all_synthetic())
+        .chain(mcsim::presets::all_mesh_scale())
         .collect();
     let mut stale = 0usize;
     if !check {

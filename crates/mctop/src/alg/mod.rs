@@ -32,9 +32,11 @@ use crate::error::McTopError;
 use crate::model::Mctop;
 pub use probe::{
     AdaptiveCfg,
+    PairSelection,
     ProbeConfig,
     ProbeStream,
-    Prober, //
+    Prober,
+    PruneCfg, //
 };
 
 /// Output of a full inference run: the topology plus the measurement

@@ -193,6 +193,134 @@ impl Default for AdaptiveCfg {
     }
 }
 
+/// Which context pairs a collection run measures.
+///
+/// The paper measures every unordered pair — quadratic in the context
+/// count, which is fine up to a few hundred contexts but prohibitive
+/// for NoC-scale mesh/circulant machines. [`PairSelection::Pruned`]
+/// measures a structured subset (a circular context-id neighbourhood
+/// ball, power-of-two long-range strides, and deterministic hashed
+/// samples) and reconstructs the remaining entries by shortest-path
+/// closure over the measured socket graph. On machines whose latency is
+/// a function of interconnect hop distance under socket-major numbering
+/// (the mesh-scale presets), the reconstruction is *exact*: a noiseless
+/// pruned run produces byte-for-byte the table of an exhaustive run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSelection {
+    /// Measure every unordered pair (the paper's collection).
+    Exhaustive,
+    /// Measure the structured subset described by the config and
+    /// reconstruct the rest. Falls back to exhaustive when the config
+    /// does not match the machine (context count not `ctxs_per_socket *
+    /// sockets`) or the machine is too small for pruning to save
+    /// anything. Implies non-adaptive collection: the adaptive boundary
+    /// check clusters the whole table, which is meaningless while most
+    /// entries are unmeasured.
+    Pruned(PruneCfg),
+}
+
+/// Structural hints for [`PairSelection::Pruned`]. The collection layer
+/// cannot see the machine's socket structure (that is what inference
+/// discovers), so the caller — typically
+/// [`crate::desc::canonical_probe_config_for`], which knows the spec —
+/// supplies the hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneCfg {
+    /// Hardware contexts per socket under the socket-major hypothesis
+    /// (`socket = context id / ctxs_per_socket`).
+    pub ctxs_per_socket: usize,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Deterministic hashed long-range sample pairs added on top of the
+    /// ball and the strides.
+    pub samples: usize,
+}
+
+impl PruneCfg {
+    /// The canonical pruning plan for a machine shape: one hashed
+    /// long-range sample per context.
+    pub fn for_machine(ctxs_per_socket: usize, sockets: usize) -> Self {
+        PruneCfg {
+            ctxs_per_socket,
+            sockets,
+            samples: ctxs_per_socket * sockets,
+        }
+    }
+}
+
+/// The measured pair set of a pruned collection over `n` contexts, in
+/// deterministic (sorted) order, or `None` when the config does not
+/// match the machine or pruning would not reduce the pair count.
+///
+/// Three structured layers (`c = ctxs_per_socket`, `M = sockets`):
+///
+/// - a circular context-id ball of radius `c * (ceil(sqrt(M)) + 1)` —
+///   covers every intra-socket pair plus, under socket-major numbering,
+///   the row *and* column neighbours of a `sqrt(M) x sqrt(M)` grid;
+/// - strides `c * 2^j` beyond the ball up to `n/2` — covers the chord
+///   generators of multiplicative circulants and gives the closure
+///   logarithmic shortcuts on any ring-like shape;
+/// - `samples` hashed long-range pairs — structure-free coverage that
+///   lets validation catch a wrong structural hypothesis.
+///
+/// The total is `O(n^1.5)` pairs versus the exhaustive `O(n^2)`.
+pub fn pruned_pairs(n: usize, cfg: &PruneCfg) -> Option<Vec<(usize, usize)>> {
+    let c = cfg.ctxs_per_socket;
+    let m = cfg.sockets;
+    if c == 0 || m == 0 || c * m != n {
+        return None;
+    }
+    let mut side = 1usize;
+    while side * side < m {
+        side += 1;
+    }
+    let r = c * (side + 1);
+    if 2 * r + 1 >= n {
+        // The ball already covers (almost) every pair.
+        return None;
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let ring = |d: usize, pairs: &mut Vec<(usize, usize)>| {
+        for a in 0..n {
+            let b = (a + d) % n;
+            pairs.push((a.min(b), a.max(b)));
+        }
+    };
+    for d in 1..=r {
+        ring(d, &mut pairs);
+    }
+    let mut d = c;
+    while d <= n / 2 {
+        if d > r {
+            ring(d, &mut pairs);
+        }
+        d *= 2;
+    }
+    // Hashed samples: splitmix64 over a fixed seed, so the plan is a
+    // pure function of the machine shape.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ ((n as u64) << 32 | c as u64);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..cfg.samples {
+        let a = (next() % n as u64) as usize;
+        let b = (next() % n as u64) as usize;
+        if a != b {
+            pairs.push((a.min(b), a.max(b)));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    if pairs.len() >= schedule::num_pairs(n) {
+        return None;
+    }
+    Some(pairs)
+}
+
 /// Collection parameters (defaults follow Section 3.5).
 #[derive(Debug, Clone)]
 pub struct ProbeConfig {
@@ -216,6 +344,8 @@ pub struct ProbeConfig {
     /// Two-phase adaptive repetitions; `None` measures every pair with
     /// the full `reps` (the paper's behaviour).
     pub adaptive: Option<AdaptiveCfg>,
+    /// Which context pairs to measure (default: all of them).
+    pub pairs: PairSelection,
 }
 
 impl Default for ProbeConfig {
@@ -229,6 +359,7 @@ impl Default for ProbeConfig {
             pair_overhead_cycles: 8_000_000,
             cluster: ClusterCfg::default(),
             adaptive: None,
+            pairs: PairSelection::Exhaustive,
         }
     }
 }
@@ -347,11 +478,15 @@ pub fn collect<P: Prober>(
     cfg: &ProbeConfig,
 ) -> Result<(LatencyTable, ProbeStats), McTopError> {
     let mut ctx = begin_collection(prober, cfg)?;
-    let rounds = schedule::round_robin(ctx.n);
+    let (rounds, pruned) = plan_rounds(ctx.n, cfg);
+    let cfg = &effective_cfg(cfg, pruned.is_some());
     let mut stats = ProbeStats::default();
-    let table = run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
+    let mut table = run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
         run_phase_inline(prober, cfg, rs, kind, st)
     })?;
+    if let Some((pairs, pc)) = &pruned {
+        reconstruct_pruned(&mut table, pairs, pc);
+    }
     Ok((table, stats))
 }
 
@@ -376,7 +511,8 @@ pub fn collect_parallel<P: Prober + Send>(
     jobs: usize,
 ) -> Result<(LatencyTable, ProbeStats), McTopError> {
     let mut ctx = begin_collection(prober, cfg)?;
-    let rounds = schedule::round_robin(ctx.n);
+    let (rounds, pruned) = plan_rounds(ctx.n, cfg);
+    let cfg = &effective_cfg(cfg, pruned.is_some());
     let mut stats = ProbeStats::default();
 
     // Fork the worker pool after warm-up, so every fork inherits the
@@ -394,7 +530,7 @@ pub fn collect_parallel<P: Prober + Send>(
         }
     }
 
-    let table = if forks.len() > 1 {
+    let mut table = if forks.len() > 1 {
         run_phases(&mut ctx, cfg, &rounds, &mut stats, |rs, kind, st| {
             run_phase_threaded(&mut forks, cfg, rs, kind, st)
         })?
@@ -403,7 +539,153 @@ pub fn collect_parallel<P: Prober + Send>(
             run_phase_inline(prober, cfg, rs, kind, st)
         })?
     };
+    if let Some((pairs, pc)) = &pruned {
+        reconstruct_pruned(&mut table, pairs, pc);
+    }
     Ok((table, stats))
+}
+
+/// Resolves the measurement plan of a run: the schedule rounds plus,
+/// when pruning is active, the measured pair list the closure
+/// reconstruction needs afterwards. A pruning config that does not fit
+/// the machine falls back to the exhaustive round-robin schedule.
+#[allow(clippy::type_complexity)]
+fn plan_rounds(
+    n: usize,
+    cfg: &ProbeConfig,
+) -> (
+    Vec<Vec<(usize, usize)>>,
+    Option<(Vec<(usize, usize)>, PruneCfg)>,
+) {
+    if let PairSelection::Pruned(pc) = cfg.pairs {
+        if let Some(pairs) = pruned_pairs(n, &pc) {
+            let rounds = schedule::rounds_for(n, &pairs);
+            return (rounds, Some((pairs, pc)));
+        }
+    }
+    (schedule::round_robin(n), None)
+}
+
+/// Pruned collection is single-phase: the adaptive pilot's boundary
+/// check clusters the whole table, which is meaningless while most
+/// entries are still unmeasured, so pruning forces `adaptive` off.
+fn effective_cfg(cfg: &ProbeConfig, pruned: bool) -> ProbeConfig {
+    if pruned && cfg.adaptive.is_some() {
+        ProbeConfig {
+            adaptive: None,
+            ..cfg.clone()
+        }
+    } else {
+        cfg.clone()
+    }
+}
+
+/// Fills the unmeasured entries of a pruned table by shortest-path
+/// closure over the measured socket graph.
+///
+/// The model (matching [`crate::build`]'s link inference in reverse):
+/// every cross-socket latency is a fixed per-transfer overhead `h` plus
+/// additive wire latency along the cheapest socket path. The measured
+/// pairs give socket-edge weights `W(u, v) = min measured latency`;
+/// `h` falls out of the two smallest distinct weights (a 2-hop path
+/// costs `h + 2 * (lambda1 - h)`, so `h = 2 * lambda1 - lambda2` when
+/// the second level is a 2-hop level); Dijkstra over `W - h` then gives
+/// every missing cross-socket latency as `h + dist`. Measured entries
+/// are kept verbatim, so on machines where the model is exact (the
+/// mesh-scale presets) a noiseless pruned table equals the exhaustive
+/// one byte for byte, and on machines where it is not, validation sees
+/// the genuine measurements.
+fn reconstruct_pruned(table: &mut LatencyTable, pairs: &[(usize, usize)], pc: &PruneCfg) {
+    let n = table.n();
+    let c = pc.ctxs_per_socket;
+    let m = pc.sockets;
+    debug_assert_eq!(c * m, n);
+    let mut measured = vec![false; n * n];
+    for &(a, b) in pairs {
+        measured[a * n + b] = true;
+        measured[b * n + a] = true;
+    }
+    // Socket-level edge weights: the minimum measured latency between
+    // any context of u and any context of v (noise, if present, is
+    // damped by taking the min over c^2-ish samples per socket pair).
+    let mut w: Vec<u32> = vec![u32::MAX; m * m];
+    // Intra-socket fallback (the ball radius >= c guarantees every
+    // intra pair is measured, so this is belt and braces).
+    let mut intra: Vec<u32> = vec![u32::MAX; m];
+    for &(a, b) in pairs {
+        let (u, v) = (a / c, b / c);
+        let lat = table.get(a, b);
+        if u == v {
+            intra[u] = intra[u].min(lat);
+        } else if lat < w[u * m + v] {
+            w[u * m + v] = lat;
+            w[v * m + u] = lat;
+        }
+    }
+    // Overhead estimate from the two smallest distinct edge weights;
+    // a single level (or none) means no path composition is possible
+    // anyway and h only shifts reconstructed values uniformly.
+    let mut vals: Vec<u32> = w.iter().copied().filter(|&x| x != u32::MAX).collect();
+    vals.sort_unstable();
+    vals.dedup();
+    let h = match (vals.first(), vals.get(1)) {
+        (Some(&l1), Some(&l2)) => ((2 * l1 as u64).saturating_sub(l2 as u64)).min(l1 as u64) as u32,
+        _ => 0,
+    };
+    // Dijkstra per socket over wire weights (W - h).
+    let mut dist_all: Vec<Vec<u64>> = Vec::with_capacity(m);
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); m];
+    for u in 0..m {
+        for v in (u + 1)..m {
+            let weight = w[u * m + v];
+            if weight != u32::MAX {
+                let wire = weight.saturating_sub(h) as u64;
+                adj[u].push((v, wire));
+                adj[v].push((u, wire));
+            }
+        }
+    }
+    for src in 0..m {
+        let mut dist = vec![u64::MAX; m];
+        dist[src] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, wire) in &adj[u] {
+                let nd = d + wire;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist_all.push(dist);
+    }
+    // Fill every unmeasured entry; disconnected or intra-unmeasured
+    // pairs stay zero (validation rejects such tables loudly rather
+    // than inventing a number).
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if measured[a * n + b] {
+                continue;
+            }
+            let (u, v) = (a / c, b / c);
+            if u == v {
+                if intra[u] != u32::MAX {
+                    table.set(a, b, intra[u]);
+                }
+            } else {
+                let d = dist_all[u][v];
+                if d != u64::MAX {
+                    let lat = (h as u64 + d).min(u32::MAX as u64) as u32;
+                    table.set(a, b, lat);
+                }
+            }
+        }
+    }
 }
 
 /// Drives the one- or two-phase measurement plan over a phase executor
@@ -1129,5 +1411,85 @@ mod tests {
         };
         let (table, _) = collect(&mut p, &cfg).unwrap();
         assert!(table.is_consistent());
+    }
+
+    #[test]
+    fn pruned_plan_is_subquadratic() {
+        // The 16x16 mesh shape (512 contexts): the acceptance bar is
+        // <= 25% of the exhaustive pair count; the plan sits well under.
+        let pc = PruneCfg::for_machine(2, 256);
+        let pairs = pruned_pairs(512, &pc).expect("prunable");
+        let exhaustive = schedule::num_pairs(512);
+        assert!(
+            pairs.len() * 4 <= exhaustive,
+            "{} of {} pairs",
+            pairs.len(),
+            exhaustive
+        );
+        // Sorted, deduplicated, normalized, in range.
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        assert!(pairs.iter().all(|&(a, b)| a < b && b < 512));
+        // Deterministic: a pure function of the machine shape.
+        assert_eq!(pairs, pruned_pairs(512, &pc).unwrap());
+    }
+
+    #[test]
+    fn pruned_plan_falls_back_when_structure_mismatches() {
+        // Wrong shape (c * M != n) and too-small machines refuse to
+        // prune rather than reconstruct from a bogus hypothesis.
+        assert!(pruned_pairs(40, &PruneCfg::for_machine(3, 10)).is_none());
+        assert!(pruned_pairs(8, &PruneCfg::for_machine(2, 4)).is_none());
+    }
+
+    #[test]
+    fn pruned_noiseless_equals_exhaustive_on_mesh() {
+        // The mesh latency model is exactly the closure model, so a
+        // noiseless pruned table must be byte-identical to exhaustive.
+        let spec = presets::mesh(8);
+        let n = spec.total_hwcs();
+        let pc = PruneCfg::for_machine(n / spec.sockets, spec.sockets);
+        let cfg_ex = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let cfg_pr = ProbeConfig {
+            pairs: PairSelection::Pruned(pc),
+            ..cfg_ex.clone()
+        };
+        let (t_ex, s_ex) = collect(&mut SimProber::noiseless(&spec), &cfg_ex).unwrap();
+        let (t_pr, s_pr) = collect(&mut SimProber::noiseless(&spec), &cfg_pr).unwrap();
+        assert_eq!(t_ex, t_pr, "reconstruction must be exact on the mesh");
+        assert!(
+            s_pr.pairs < s_ex.pairs,
+            "pruned run measured {} of {} pairs",
+            s_pr.pairs,
+            s_ex.pairs
+        );
+        // Parallel pruned collection keeps the determinism contract.
+        let (t_par, s_par) =
+            collect_parallel(&mut SimProber::noiseless(&spec), &cfg_pr, 6).unwrap();
+        assert_eq!(t_pr, t_par);
+        assert_eq!(s_pr.pairs, s_par.pairs);
+        assert_eq!(s_pr.probes, s_par.probes);
+    }
+
+    #[test]
+    fn pruned_noiseless_equals_exhaustive_on_circulant() {
+        let spec = presets::multiplicative_circulant(64, 4);
+        let n = spec.total_hwcs();
+        let pc = PruneCfg::for_machine(n / spec.sockets, spec.sockets);
+        let cfg_ex = ProbeConfig {
+            reps: 3,
+            ..ProbeConfig::fast()
+        };
+        let cfg_pr = ProbeConfig {
+            pairs: PairSelection::Pruned(pc),
+            adaptive: Some(AdaptiveCfg::default()), // must be forced off
+            ..cfg_ex.clone()
+        };
+        let (t_ex, _) = collect(&mut SimProber::noiseless(&spec), &cfg_ex).unwrap();
+        let (t_pr, s_pr) = collect(&mut SimProber::noiseless(&spec), &cfg_pr).unwrap();
+        assert_eq!(t_ex, t_pr);
+        assert_eq!(s_pr.pilot_probes, 0, "pruning disables the pilot pass");
     }
 }

@@ -51,6 +51,36 @@ pub fn num_pairs(n: usize) -> usize {
     n * (n - 1) / 2
 }
 
+/// Partitions an arbitrary pair set over `n` contexts into rounds of
+/// mutually disjoint pairs — the pruned-collection counterpart of
+/// [`round_robin`], which only handles the full upper triangle.
+///
+/// Deterministic greedy first-fit: pairs are visited in the given
+/// order and each lands in the earliest round where neither context is
+/// taken. Not guaranteed minimal (that is edge colouring), but within
+/// one round of optimal on the regular meshes this exists for, and the
+/// schedule invariant the collectors rely on — no context twice per
+/// round — holds by construction.
+pub fn rounds_for(n: usize, pairs: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    let mut rounds: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut busy: Vec<Vec<bool>> = Vec::new();
+    for &(a, b) in pairs {
+        debug_assert!(a < b && b < n, "pair ({a},{b}) malformed for n={n}");
+        let slot = match busy.iter().position(|r| !r[a] && !r[b]) {
+            Some(s) => s,
+            None => {
+                rounds.push(Vec::new());
+                busy.push(vec![false; n]);
+                busy.len() - 1
+            }
+        };
+        busy[slot][a] = true;
+        busy[slot][b] = true;
+        rounds[slot].push((a, b));
+    }
+    rounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +117,35 @@ mod tests {
         assert!(round_robin(0).is_empty());
         assert!(round_robin(1).is_empty());
         assert_eq!(round_robin(2), vec![vec![(0, 1)]]);
+    }
+
+    #[test]
+    fn rounds_for_preserves_pairs_and_disjointness() {
+        // A pruned-plan-shaped set: a neighbourhood ball plus strides.
+        let n = 64;
+        let mut pairs = Vec::new();
+        for d in [1usize, 2, 3, 8, 16, 32] {
+            for a in 0..n {
+                let b = (a + d) % n;
+                let p = (a.min(b), a.max(b));
+                if !pairs.contains(&p) {
+                    pairs.push(p);
+                }
+            }
+        }
+        let rounds = rounds_for(n, &pairs);
+        let mut seen = HashSet::new();
+        for round in &rounds {
+            let mut used = HashSet::new();
+            for &(a, b) in round {
+                assert!(a < b && b < n);
+                assert!(used.insert(a) && used.insert(b), "context reused in round");
+                assert!(seen.insert((a, b)), "pair scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), pairs.len(), "pairs dropped by the scheduler");
+        // Deterministic: same input, same schedule.
+        assert_eq!(rounds, rounds_for(n, &pairs));
     }
 
     #[test]

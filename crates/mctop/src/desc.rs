@@ -117,6 +117,50 @@ pub fn canonical_probe_config() -> ProbeConfig {
     }
 }
 
+/// Socket count at and above which the canonical path switches to
+/// mesh-scale collection: pruned pairs plus closure reconstruction, and
+/// a finer clustering config. Every committed cache-coherent platform
+/// sits far below (max 8 sockets); the mesh/circulant NoC presets sit
+/// at or above.
+pub const MESH_SCALE_SOCKETS: usize = 32;
+
+/// The canonical probe configuration *for a machine*: the plain
+/// [`canonical_probe_config`] for cache-coherent boxes, and the
+/// mesh-scale variant for NoC-scale machines ([`MESH_SCALE_SOCKETS`]+
+/// sockets).
+///
+/// The mesh-scale variant differs in two ways:
+///
+/// - collection is pruned ([`crate::alg::PairSelection::Pruned`]) —
+///   exact on these machines, so the desc file is byte-identical to an
+///   exhaustive run, just quadratically cheaper to regenerate;
+/// - clustering uses a finer relative gap (hop-count latency ladders
+///   have many closely spaced levels: a 16x16 mesh has 30 distinct
+///   cross levels 60 cycles apart, which the default 8% relative gap
+///   would merge at the top and the default 12-level cap would reject).
+///
+/// Existing (small) machines keep the exact historical config, so the
+/// committed goldens cannot move.
+pub fn canonical_probe_config_for(spec: &mcsim::MachineSpec) -> ProbeConfig {
+    let base = canonical_probe_config();
+    if spec.sockets < MESH_SCALE_SOCKETS {
+        return base;
+    }
+    let ctxs = spec.total_hwcs();
+    ProbeConfig {
+        pairs: crate::alg::PairSelection::Pruned(crate::alg::PruneCfg::for_machine(
+            ctxs / spec.sockets,
+            spec.sockets,
+        )),
+        cluster: crate::alg::cluster::ClusterCfg {
+            rel_gap: 0.02,
+            abs_gap: 8,
+            max_levels: 64,
+        },
+        ..base
+    }
+}
+
 /// Deterministically infers and enriches the canonical topology of a
 /// simulated machine: the exact content of the committed
 /// `descs/<name>.mct.json`. Noiseless probing, [`canonical_probe_config`],
@@ -137,7 +181,7 @@ pub fn canonical_jobs(
     spec: &mcsim::MachineSpec,
     jobs: usize,
 ) -> Result<(Mctop, Provenance), McTopError> {
-    let cfg = canonical_probe_config();
+    let cfg = canonical_probe_config_for(spec);
     let mut prober = SimProber::noiseless(spec);
     let mut topo = crate::alg::run_jobs(&mut prober, &cfg, jobs)?;
     let mut mem = SimEnricher::new(spec);

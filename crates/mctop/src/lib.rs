@@ -72,8 +72,10 @@ pub mod view;
 
 pub use alg::probe::{
     AdaptiveCfg,
+    PairSelection,
     ProbeConfig,
-    Prober, //
+    Prober,
+    PruneCfg, //
 };
 pub use error::McTopError;
 pub use model::Mctop;

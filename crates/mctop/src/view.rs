@@ -9,17 +9,23 @@
 //!
 //! - the socket-level index (validated, not guessed — see
 //!   [`Mctop::socket_level_index`]),
-//! - dense socket×socket latency / hop / bandwidth matrices,
+//! - a `DistanceStore`: the socket×socket latency / hop / bandwidth
+//!   index behind every distance query, with two interchangeable
+//!   backends — dense matrices (small machines) or a sparse
+//!   CSR-adjacency + level-bucket + on-demand-BFS form (mesh-scale
+//!   machines, where S² matrices stop fitting the cache budget),
 //! - per-socket neighbor lists sorted by proximity,
 //! - per-context → (core, socket, node) lookup tables,
 //! - per-socket context hand-out orders (compact and cores-first),
 //! - the min-latency / max-latency / max-bandwidth socket-pair caches
 //!   and the bandwidth-then-proximity socket walk of the CON policies.
 //!
-//! Every answer is then an O(1) or O(k) lookup. The `naive` module
-//! keeps the reference implementations; `tests/proptest_invariants.rs`
-//! asserts view answers are identical to the naive ones on every
-//! simulated machine.
+//! Every answer is then an O(1) or O(k) lookup (amortized, for the
+//! sparse backend). The `naive` module keeps the reference
+//! implementations; `tests/proptest_invariants.rs` asserts view answers
+//! are identical to the naive ones on every simulated machine, and
+//! `tests/proptest_scale.rs` asserts the two backends are identical to
+//! each other.
 //!
 //! # Examples
 //!
@@ -34,22 +40,38 @@
 //! );
 //! ```
 
+use std::mem::size_of;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{
+    Arc,
+    Mutex,
+    OnceLock, //
+};
 
 use crate::error::McTopError;
 use crate::model::Mctop;
 
+/// Socket count at and above which [`TopoView::new`] picks the sparse
+/// distance backend. Below it the dense matrices are at most a few
+/// dozen kilobytes and strictly faster; above it they grow with S² while
+/// the sparse form grows with the link degree.
+pub const SPARSE_THRESHOLD_SOCKETS: usize = 32;
+
+/// BFS hop rows the sparse backend keeps resident (LRU). Policy loops
+/// query a handful of "current" sockets over and over; 32 rows covers
+/// them while keeping the cache O(S) bytes.
+const ROW_CACHE_ROWS: usize = 32;
+
 /// The naive reference implementations of the socket-level queries.
 ///
 /// [`crate::query`]'s `impl Mctop` methods are thin wrappers over these
-/// functions. [`TopoView`] derives its latency/hop/bandwidth matrices,
+/// functions. [`TopoView`] derives its latency/hop/bandwidth answers,
 /// neighbor lists, bandwidth ranking and socket walk independently
-/// (one scan over the link arena, sorts over the matrices) — for those
-/// the naive-vs-view equivalence proptest is a genuine cross-check.
-/// The remaining caches (hand-out orders, socket level, latency pairs)
-/// intentionally share these reference implementations, so for them
-/// the proptest guards cache staleness and indexing, not derivation.
+/// (via the [`DistanceStore`]) — for those the naive-vs-view
+/// equivalence proptest is a genuine cross-check. The remaining caches
+/// (hand-out orders, socket level, latency pairs) intentionally share
+/// these reference implementations, so for them the proptest guards
+/// cache staleness and indexing, not derivation.
 pub(crate) mod naive {
     use crate::model::{LevelRole, Mctop};
 
@@ -161,11 +183,10 @@ pub(crate) mod naive {
 
 /// A compressed-sparse-row collection of per-socket index lists: one
 /// flat arena plus row offsets instead of a `Vec<Vec<usize>>` per
-/// family. The view stores its three list families (neighbor orders,
-/// cores-first hand-out, compact hand-out) as consecutive row groups of
-/// a single `CsrLists`, so building a view costs two allocations for
-/// all of them (instead of `3 × sockets`) and row reads walk one
-/// contiguous arena.
+/// family. The view stores its two hand-out list families (cores-first,
+/// compact) as consecutive row groups of a single `CsrLists`, so
+/// building them costs two allocations for both (instead of
+/// `2 × sockets`) and row reads walk one contiguous arena.
 #[derive(Debug, Clone)]
 struct CsrLists {
     data: Vec<usize>,
@@ -191,36 +212,589 @@ impl CsrLists {
     fn row(&self, r: usize) -> &[usize] {
         &self.data[self.offsets[r]..self.offsets[r + 1]]
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.data.len() * size_of::<usize>() + self.offsets.len() * size_of::<usize>()
+    }
+}
+
+/// Which distance backend a view runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewBackend {
+    /// Dense S×S matrices, built lazily per matrix. The right answer
+    /// for cache-coherent boxes (S ≤ 8 on every committed platform).
+    Dense,
+    /// CSR adjacency over the direct links, per-hop-level latency
+    /// buckets, on-demand BFS hop rows behind a small LRU, and a sorted
+    /// exception list for pairs that deviate from the hop model. O(S +
+    /// E + exceptions) resident instead of O(S²); exact on every
+    /// topology (deviating pairs are stored verbatim).
+    Sparse,
+}
+
+impl ViewBackend {
+    /// Stable lower-case name (used by `mct show --stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewBackend::Dense => "dense",
+            ViewBackend::Sparse => "sparse",
+        }
+    }
+}
+
+/// The socket-distance index of a view: latency, hops, bandwidth and
+/// proximity-sorted neighbor rows, behind one of two backends.
+#[derive(Debug, Clone)]
+enum DistanceStore {
+    Dense(DenseStore),
+    Sparse(SparseStore),
+}
+
+/// Dense matrices, each built on first use (a policy loop that only
+/// ever asks for latency never pays for the bandwidth matrix).
+#[derive(Debug, Clone)]
+struct DenseStore {
+    n: usize,
+    intra: u32,
+    /// S×S context-to-context latency (diagonal = intra-socket).
+    lat: OnceLock<Vec<u32>>,
+    /// S×S interconnect hops (0 on the diagonal, `usize::MAX` unknown).
+    hops: OnceLock<Vec<usize>>,
+    /// S×S memory bandwidth: cross-socket off the diagonal, local on it.
+    bw: OnceLock<Vec<Option<f64>>>,
+    /// S rows: the other sockets sorted by latency (ties by id).
+    neighbors: OnceLock<Vec<Vec<usize>>>,
+}
+
+impl DenseStore {
+    fn new(n: usize, intra: u32) -> DenseStore {
+        DenseStore {
+            n,
+            intra,
+            lat: OnceLock::new(),
+            hops: OnceLock::new(),
+            bw: OnceLock::new(),
+            neighbors: OnceLock::new(),
+        }
+    }
+
+    /// One scan over the link arena per matrix, mirroring the naive
+    /// query exactly: only normalized records are visible, and the
+    /// first record for a pair wins (`Mctop::link` is a first-match
+    /// scan). `validate` rejects unnormalized/duplicate records in
+    /// loaded topologies, so this only matters for hand-built ones.
+    fn visible_links(
+        topo: &Mctop,
+        n: usize,
+    ) -> impl Iterator<Item = &crate::model::InterconnectLink> {
+        let mut seen = vec![false; n * n];
+        topo.links.iter().filter(move |l| {
+            if l.a >= l.b || l.b >= n || seen[l.a * n + l.b] {
+                return false;
+            }
+            seen[l.a * n + l.b] = true;
+            true
+        })
+    }
+
+    fn lat(&self, topo: &Mctop) -> &[u32] {
+        self.lat.get_or_init(|| {
+            let n = self.n;
+            let mut m = vec![u32::MAX; n * n];
+            for i in 0..n {
+                m[i * n + i] = self.intra;
+            }
+            for l in Self::visible_links(topo, n) {
+                m[l.a * n + l.b] = l.latency;
+                m[l.b * n + l.a] = l.latency;
+            }
+            m
+        })
+    }
+
+    fn hops(&self, topo: &Mctop) -> &[usize] {
+        self.hops.get_or_init(|| {
+            let n = self.n;
+            let mut m = vec![usize::MAX; n * n];
+            for i in 0..n {
+                m[i * n + i] = 0;
+            }
+            for l in Self::visible_links(topo, n) {
+                m[l.a * n + l.b] = l.hops;
+                m[l.b * n + l.a] = l.hops;
+            }
+            m
+        })
+    }
+
+    fn bw(&self, topo: &Mctop) -> &[Option<f64>] {
+        self.bw.get_or_init(|| {
+            let n = self.n;
+            let mut m: Vec<Option<f64>> = vec![None; n * n];
+            for i in 0..n {
+                m[i * n + i] = topo.sockets[i].local_bandwidth();
+            }
+            for l in Self::visible_links(topo, n) {
+                m[l.a * n + l.b] = l.bandwidth;
+                m[l.b * n + l.a] = l.bandwidth;
+            }
+            m
+        })
+    }
+
+    fn closest(&self, topo: &Mctop, a: usize) -> &[usize] {
+        &self.neighbors.get_or_init(|| {
+            let n = self.n;
+            let lat = self.lat(topo);
+            (0..n)
+                .map(|x| {
+                    let mut others: Vec<usize> = (0..n).filter(|&b| b != x).collect();
+                    others.sort_by_key(|&b| (lat[x * n + b], b));
+                    others
+                })
+                .collect()
+        })[a]
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let mut total = 0;
+        if let Some(m) = self.lat.get() {
+            total += m.len() * size_of::<u32>();
+        }
+        if let Some(m) = self.hops.get() {
+            total += m.len() * size_of::<usize>();
+        }
+        if let Some(m) = self.bw.get() {
+            total += m.len() * size_of::<Option<f64>>();
+        }
+        if let Some(rows) = self.neighbors.get() {
+            total += rows
+                .iter()
+                .map(|r| r.len() * size_of::<usize>())
+                .sum::<usize>();
+        }
+        total
+    }
+}
+
+/// LRU of BFS hop rows, most recently used last.
+#[derive(Debug, Default)]
+struct RowCache {
+    entries: Vec<(usize, Vec<u32>)>,
+}
+
+/// The sparse distance backend.
+///
+/// A validated [`Mctop`] records one link per socket pair, so the model
+/// itself is quadratic — but the *view* need not be: direct (1-hop)
+/// links form a sparse graph whose BFS distance reproduces every hop
+/// count, and on hop-derived interconnects (the mesh-scale presets) the
+/// latency of a pair is a pure function of its hop count. The store
+/// keeps the CSR adjacency, one latency per hop level, and a sorted
+/// exception list holding verbatim every pair the model does *not*
+/// explain — empty on regular meshes, never wrong on anything else.
+/// Bandwidth is irregular per pair (measured, jittered) and cannot be
+/// reconstructed; it is answered by binary search over the model's own
+/// link arena, costing the view no memory.
+#[derive(Debug)]
+struct SparseStore {
+    n: usize,
+    intra: u32,
+    /// CSR over direct links: `adj[adj_off[s]..adj_off[s + 1]]`.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    /// Latency per BFS hop count; `None` = no uniform value at that
+    /// level (every such pair is then in `exceptions`).
+    level_lat: Vec<Option<u32>>,
+    /// `(a, b, latency, hops)` for pairs deviating from the hop model,
+    /// sorted by `(a, b)` with `a < b`; `u32::MAX` encodes "unknown".
+    exceptions: Vec<(u32, u32, u32, u32)>,
+    /// Whether `topo.links` is strictly sorted by normalized `(a, b)` —
+    /// lets bandwidth lookups binary-search the arena directly.
+    links_sorted: bool,
+    /// Fallback bandwidth index when the arena is not sorted: visible
+    /// link indices ordered by `(a, b)`.
+    link_index: Vec<u32>,
+    /// Per-socket local memory bandwidth (the dense diagonal).
+    local_bw: Vec<Option<f64>>,
+    /// LRU of recent BFS hop rows.
+    rows: Mutex<RowCache>,
+    /// Proximity-sorted neighbor rows, pinned once queried (the row is
+    /// handed out by reference, so it cannot be evicted like the hop
+    /// rows; only queried sockets ever materialize).
+    neighbor_rows: Vec<OnceLock<Vec<usize>>>,
+}
+
+impl Clone for SparseStore {
+    fn clone(&self) -> Self {
+        SparseStore {
+            n: self.n,
+            intra: self.intra,
+            adj_off: self.adj_off.clone(),
+            adj: self.adj.clone(),
+            level_lat: self.level_lat.clone(),
+            exceptions: self.exceptions.clone(),
+            links_sorted: self.links_sorted,
+            link_index: self.link_index.clone(),
+            local_bw: self.local_bw.clone(),
+            // The clone starts with a cold row cache (derived state).
+            rows: Mutex::new(RowCache::default()),
+            neighbor_rows: self.neighbor_rows.clone(),
+        }
+    }
+}
+
+impl SparseStore {
+    fn build(topo: &Mctop, intra: u32) -> SparseStore {
+        let n = topo.num_sockets();
+        // Visible links under the first-match rule (see DenseStore).
+        let mut first: Vec<bool> = vec![false; n * n];
+        let mut order: Vec<u32> = Vec::new();
+        for (i, l) in topo.links.iter().enumerate() {
+            if l.a >= l.b || l.b >= n || first[l.a * n + l.b] {
+                continue;
+            }
+            first[l.a * n + l.b] = true;
+            order.push(i as u32);
+        }
+        // CSR over the direct (1-hop) links.
+        let mut deg = vec![0u32; n];
+        for &i in &order {
+            let l = &topo.links[i as usize];
+            if l.hops == 1 {
+                deg[l.a] += 1;
+                deg[l.b] += 1;
+            }
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for s in 0..n {
+            adj_off[s + 1] = adj_off[s] + deg[s];
+        }
+        let mut adj = vec![0u32; adj_off[n] as usize];
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        for &i in &order {
+            let l = &topo.links[i as usize];
+            if l.hops == 1 {
+                adj[cursor[l.a] as usize] = l.b as u32;
+                cursor[l.a] += 1;
+                adj[cursor[l.b] as usize] = l.a as u32;
+                cursor[l.b] += 1;
+            }
+        }
+        // All-pairs BFS (build-time only; the rows are dropped) to
+        // bucket every visible link by its BFS hop count and to find
+        // the pairs the buckets do not explain.
+        let rows: Vec<Vec<u32>> = (0..n).map(|s| bfs_row(&adj_off, &adj, n, s)).collect();
+        let mut buckets: Vec<Option<u32>> = Vec::new();
+        let mut mixed: Vec<bool> = Vec::new();
+        for &i in &order {
+            let l = &topo.links[i as usize];
+            let k = rows[l.a][l.b];
+            if k == u32::MAX {
+                continue;
+            }
+            let k = k as usize;
+            if buckets.len() <= k {
+                buckets.resize(k + 1, None);
+                mixed.resize(k + 1, false);
+            }
+            match buckets[k] {
+                None => buckets[k] = Some(l.latency),
+                Some(v) if v != l.latency => mixed[k] = true,
+                Some(_) => {}
+            }
+        }
+        let level_lat: Vec<Option<u32>> = buckets
+            .iter()
+            .zip(&mixed)
+            .map(|(b, &m)| if m { None } else { *b })
+            .collect();
+        let mut exceptions: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for &i in &order {
+            let l = &topo.links[i as usize];
+            let k = rows[l.a][l.b];
+            let explained = k != u32::MAX
+                && l.hops == k as usize
+                && level_lat.get(k as usize).copied().flatten() == Some(l.latency);
+            if !explained {
+                let hops = u32::try_from(l.hops).unwrap_or(u32::MAX);
+                exceptions.push((l.a as u32, l.b as u32, l.latency, hops));
+            }
+        }
+        // Incomplete topologies (hand-built; validation requires every
+        // pair): pin missing pairs to "unknown" so BFS cannot fabricate
+        // an answer the dense backend would not give.
+        if order.len() < n * (n - 1) / 2 {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if !first[a * n + b] {
+                        exceptions.push((a as u32, b as u32, u32::MAX, u32::MAX));
+                    }
+                }
+            }
+        }
+        exceptions.sort_unstable();
+        // Bandwidth lookup path: binary search the arena when it is
+        // strictly sorted by normalized pair (every generated topology
+        // is); otherwise keep a sorted index of the visible links.
+        let links_sorted = !topo.links.is_empty()
+            && topo.links.iter().all(|l| l.a < l.b)
+            && topo
+                .links
+                .windows(2)
+                .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b));
+        let mut link_index = Vec::new();
+        if !links_sorted {
+            link_index = order.clone();
+            link_index.sort_unstable_by_key(|&i| {
+                let l = &topo.links[i as usize];
+                (l.a, l.b)
+            });
+        }
+        let local_bw = (0..n).map(|s| topo.sockets[s].local_bandwidth()).collect();
+        SparseStore {
+            n,
+            intra,
+            adj_off,
+            adj,
+            level_lat,
+            exceptions,
+            links_sorted,
+            link_index,
+            local_bw,
+            rows: Mutex::new(RowCache::default()),
+            neighbor_rows: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Exception lookup: the `(latency, hops)` recorded verbatim for a
+    /// deviating pair.
+    fn exception(&self, a: usize, b: usize) -> Option<(u32, u32)> {
+        let key = if a < b {
+            (a as u32, b as u32)
+        } else {
+            (b as u32, a as u32)
+        };
+        self.exceptions
+            .binary_search_by(|&(ea, eb, _, _)| (ea, eb).cmp(&key))
+            .ok()
+            .map(|i| (self.exceptions[i].2, self.exceptions[i].3))
+    }
+
+    /// Runs `f` over the BFS hop row of `s`, computing and caching the
+    /// row if it is not resident.
+    fn with_row<R>(&self, s: usize, f: impl FnOnce(&[u32]) -> R) -> R {
+        let mut cache = self.rows.lock().unwrap();
+        if let Some(pos) = cache.entries.iter().position(|(k, _)| *k == s) {
+            let e = cache.entries.remove(pos);
+            cache.entries.push(e);
+        } else {
+            let row = bfs_row(&self.adj_off, &self.adj, self.n, s);
+            if cache.entries.len() == ROW_CACHE_ROWS {
+                cache.entries.remove(0);
+            }
+            cache.entries.push((s, row));
+        }
+        f(&cache.entries.last().unwrap().1)
+    }
+
+    fn latency(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            return self.intra;
+        }
+        if let Some((lat, _)) = self.exception(a, b) {
+            return lat;
+        }
+        let k = self.with_row(a.min(b), |row| row[a.max(b)]);
+        if k == u32::MAX {
+            return u32::MAX;
+        }
+        self.level_lat
+            .get(k as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(u32::MAX)
+    }
+
+    fn hops(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        if let Some((_, hops)) = self.exception(a, b) {
+            return if hops == u32::MAX {
+                usize::MAX
+            } else {
+                hops as usize
+            };
+        }
+        let k = self.with_row(a.min(b), |row| row[a.max(b)]);
+        if k == u32::MAX {
+            usize::MAX
+        } else {
+            k as usize
+        }
+    }
+
+    fn cross_bw(&self, topo: &Mctop, a: usize, b: usize) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if self.links_sorted {
+            topo.links
+                .binary_search_by(|l| (l.a, l.b).cmp(&key))
+                .ok()
+                .and_then(|i| topo.links[i].bandwidth)
+        } else {
+            self.link_index
+                .binary_search_by(|&i| {
+                    let l = &topo.links[i as usize];
+                    (l.a, l.b).cmp(&key)
+                })
+                .ok()
+                .and_then(|pos| topo.links[self.link_index[pos] as usize].bandwidth)
+        }
+    }
+
+    fn closest(&self, a: usize) -> &[usize] {
+        self.neighbor_rows[a].get_or_init(|| {
+            let mut others: Vec<usize> = (0..self.n).filter(|&b| b != a).collect();
+            others.sort_by_key(|&b| (self.latency(a, b), b));
+            others
+        })
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let mut total = self.adj_off.len() * size_of::<u32>()
+            + self.adj.len() * size_of::<u32>()
+            + self.level_lat.len() * size_of::<Option<u32>>()
+            + self.exceptions.len() * size_of::<(u32, u32, u32, u32)>()
+            + self.link_index.len() * size_of::<u32>()
+            + self.local_bw.len() * size_of::<Option<f64>>();
+        total += self
+            .rows
+            .lock()
+            .unwrap()
+            .entries
+            .iter()
+            .map(|(_, r)| r.len() * size_of::<u32>())
+            .sum::<usize>();
+        total += self
+            .neighbor_rows
+            .iter()
+            .filter_map(|r| r.get())
+            .map(|r| r.len() * size_of::<usize>())
+            .sum::<usize>();
+        total
+    }
+}
+
+/// BFS hop distances from `src` over the CSR direct-link graph
+/// (`u32::MAX` = unreachable).
+fn bfs_row(adj_off: &[u32], adj: &[u32], n: usize, src: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; n];
+    dist[src] = 0;
+    let mut frontier = vec![src as u32];
+    let mut next = Vec::new();
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        for &u in &frontier {
+            let u = u as usize;
+            for &v in &adj[adj_off[u] as usize..adj_off[u + 1] as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = d;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+impl DistanceStore {
+    fn latency(&self, topo: &Mctop, a: usize, b: usize) -> u32 {
+        match self {
+            DistanceStore::Dense(d) => d.lat(topo)[a * d.n + b],
+            DistanceStore::Sparse(s) => s.latency(a, b),
+        }
+    }
+
+    fn hops(&self, topo: &Mctop, a: usize, b: usize) -> usize {
+        match self {
+            DistanceStore::Dense(d) => d.hops(topo)[a * d.n + b],
+            DistanceStore::Sparse(s) => s.hops(a, b),
+        }
+    }
+
+    fn cross_bw(&self, topo: &Mctop, a: usize, b: usize) -> Option<f64> {
+        match self {
+            DistanceStore::Dense(d) => {
+                if a == b {
+                    return None;
+                }
+                d.bw(topo)[a * d.n + b]
+            }
+            DistanceStore::Sparse(s) => s.cross_bw(topo, a, b),
+        }
+    }
+
+    fn local_bw(&self, topo: &Mctop, socket: usize) -> Option<f64> {
+        match self {
+            DistanceStore::Dense(d) => d.bw(topo)[socket * d.n + socket],
+            DistanceStore::Sparse(s) => s.local_bw[socket],
+        }
+    }
+
+    fn closest(&self, topo: &Mctop, a: usize) -> &[usize] {
+        match self {
+            DistanceStore::Dense(d) => d.closest(topo, a),
+            DistanceStore::Sparse(s) => s.closest(a),
+        }
+    }
+
+    fn backend(&self) -> ViewBackend {
+        match self {
+            DistanceStore::Dense(_) => ViewBackend::Dense,
+            DistanceStore::Sparse(_) => ViewBackend::Sparse,
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            DistanceStore::Dense(d) => d.resident_bytes(),
+            DistanceStore::Sparse(s) => s.resident_bytes(),
+        }
+    }
 }
 
 /// A precomputed, shareable index over an immutable [`Mctop`].
 ///
-/// Construction is O(S² log S + N); every query afterwards is an O(1)
-/// table lookup or a borrowed slice. The view holds the topology behind
-/// an [`Arc`], so it is cheap to hand to worker pools and placement
-/// caches, and it [`Deref`]s to [`Mctop`] for the model accessors
-/// (`num_sockets`, `get_latency`, ...).
+/// Construction is O(S + E + N) plus lazy per-index costs on first
+/// touch; every query afterwards is an O(1) table lookup or a borrowed
+/// slice (amortized, for the sparse backend). The view holds the
+/// topology behind an [`Arc`], so it is cheap to hand to worker pools
+/// and placement caches, and it [`Deref`]s to [`Mctop`] for the model
+/// accessors (`num_sockets`, `get_latency`, ...).
 #[derive(Debug, Clone)]
 pub struct TopoView {
     topo: Arc<Mctop>,
     socket_level: Option<usize>,
     intra_socket_latency: u32,
     n_sockets: usize,
-    /// S×S context-to-context latency (diagonal = intra-socket).
-    socket_lat: Vec<u32>,
-    /// S×S interconnect hops (0 on the diagonal, `usize::MAX` unknown).
-    socket_hops: Vec<usize>,
-    /// S×S memory bandwidth: cross-socket off the diagonal, local on it.
-    socket_bw: Vec<Option<f64>>,
-    /// All per-socket lists in one CSR arena, three row groups of S rows
-    /// each: rows `[0, S)` the other sockets sorted by latency (ties by
-    /// id), rows `[S, 2S)` contexts in cores-first hand-out order, rows
-    /// `[2S, 3S)` contexts in compact hand-out order.
-    lists: CsrLists,
+    store: DistanceStore,
+    /// Hand-out lists in one CSR arena, two row groups of S rows each:
+    /// rows `[0, S)` contexts in cores-first order, rows `[S, 2S)`
+    /// contexts in compact order.
+    handout: CsrLists,
     /// Sockets sorted by local bandwidth, descending.
     by_bandwidth: Vec<usize>,
-    /// The CON-policy socket walk (max-bandwidth start, then proximity).
-    order_bw_proximity: Vec<usize>,
+    /// The CON-policy socket walk (max-bandwidth start, then
+    /// proximity), built on first use: it needs a full neighbor row per
+    /// hop, which the sparse backend materializes lazily.
+    order_bw_proximity: OnceLock<Vec<usize>>,
     min_latency_pair: Option<(usize, usize)>,
     max_latency_pair: Option<(usize, usize)>,
     /// Per context: owning socket.
@@ -232,79 +806,52 @@ pub struct TopoView {
 }
 
 impl TopoView {
-    /// Builds the view, taking shared ownership of the topology.
+    /// Builds the view, taking shared ownership of the topology. The
+    /// distance backend is chosen by socket count
+    /// ([`SPARSE_THRESHOLD_SOCKETS`]).
     pub fn new(topo: Arc<Mctop>) -> TopoView {
+        let backend = if topo.num_sockets() >= SPARSE_THRESHOLD_SOCKETS {
+            ViewBackend::Sparse
+        } else {
+            ViewBackend::Dense
+        };
+        Self::with_backend(topo, backend)
+    }
+
+    /// [`TopoView::new`] with an explicit distance backend — the
+    /// equivalence tests and the scale bench force both on the same
+    /// topology.
+    pub fn with_backend(topo: Arc<Mctop>, backend: ViewBackend) -> TopoView {
         let s = topo.num_sockets();
         let socket_level = naive::socket_level_index(&topo);
         let intra = naive::intra_socket_latency(&topo);
 
-        // Dense socket matrices, filled from the link arena in one scan
-        // (the naive path re-scans `links` per query instead).
-        let mut socket_lat = vec![u32::MAX; s * s];
-        let mut socket_hops = vec![usize::MAX; s * s];
-        let mut socket_bw: Vec<Option<f64>> = vec![None; s * s];
-        for i in 0..s {
-            socket_lat[i * s + i] = intra;
-            socket_hops[i * s + i] = 0;
-            socket_bw[i * s + i] = topo.sockets[i].local_bandwidth();
-        }
-        for l in &topo.links {
-            // Mirror the naive query exactly: only normalized records
-            // are visible, and the first record for a pair wins
-            // (`Mctop::link` is a first-match scan). `validate`
-            // rejects unnormalized/duplicate records in loaded
-            // topologies, so this only matters for hand-built ones.
-            if l.a >= l.b || socket_hops[l.a * s + l.b] != usize::MAX {
-                continue;
-            }
-            for (x, y) in [(l.a, l.b), (l.b, l.a)] {
-                socket_lat[x * s + y] = l.latency;
-                socket_hops[x * s + y] = l.hops;
-                socket_bw[x * s + y] = l.bandwidth;
-            }
-        }
+        let store = match backend {
+            ViewBackend::Dense => DistanceStore::Dense(DenseStore::new(s, intra)),
+            ViewBackend::Sparse => DistanceStore::Sparse(SparseStore::build(&topo, intra)),
+        };
 
-        // One CSR arena for every per-socket list: S neighbor rows, then
-        // S cores-first rows, then S compact rows.
+        // One CSR arena for the hand-out lists: S cores-first rows,
+        // then S compact rows.
         let n_hwcs = topo.hwcs.len();
-        let mut lists = CsrLists::with_rows(3 * s, s.saturating_sub(1) * s + 2 * n_hwcs);
-        let mut others: Vec<usize> = Vec::with_capacity(s.saturating_sub(1));
-        for a in 0..s {
-            others.clear();
-            others.extend((0..s).filter(|&b| b != a));
-            others.sort_by_key(|&b| (socket_lat[a * s + b], b));
-            lists.push_row(others.iter().copied());
+        let mut handout = CsrLists::with_rows(2 * s, 2 * n_hwcs);
+        for sk in 0..s {
+            handout.push_row(naive::socket_hwcs_cores_first(&topo, sk));
+        }
+        for sk in 0..s {
+            handout.push_row(naive::socket_hwcs_compact(&topo, sk));
         }
 
+        // Straight from the model, not via the store: going through the
+        // dense backend here would force its bandwidth matrix eagerly.
         let mut by_bandwidth: Vec<usize> = (0..s).collect();
         by_bandwidth.sort_by(|&a, &b| {
-            let ba = socket_bw[a * s + a].unwrap_or(0.0);
-            let bb = socket_bw[b * s + b].unwrap_or(0.0);
+            let ba = topo.sockets[a].local_bandwidth().unwrap_or(0.0);
+            let bb = topo.sockets[b].local_bandwidth().unwrap_or(0.0);
             bb.partial_cmp(&ba)
                 .expect("bandwidths are finite")
                 .then(a.cmp(&b))
         });
-
-        // The CON-policy walk: best-bandwidth socket, then repeatedly
-        // the closest unvisited one.
-        let mut order_bw_proximity = Vec::with_capacity(s);
-        if s > 0 {
-            let mut visited = vec![false; s];
-            let mut cur = by_bandwidth[0];
-            visited[cur] = true;
-            order_bw_proximity.push(cur);
-            while order_bw_proximity.len() < s {
-                let next = lists
-                    .row(cur)
-                    .iter()
-                    .copied()
-                    .find(|&b| !visited[b])
-                    .expect("unvisited socket exists");
-                visited[next] = true;
-                order_bw_proximity.push(next);
-                cur = next;
-            }
-        }
 
         let min_latency_pair = naive::min_latency_socket_pair(&topo);
         let max_latency_pair = naive::max_latency_socket_pair(&topo);
@@ -317,24 +864,15 @@ impl TopoView {
             .map(|h| topo.sockets[h.socket].local_node)
             .collect();
 
-        for sk in 0..s {
-            lists.push_row(naive::socket_hwcs_cores_first(&topo, sk));
-        }
-        for sk in 0..s {
-            lists.push_row(naive::socket_hwcs_compact(&topo, sk));
-        }
-
         TopoView {
             topo,
             socket_level,
             intra_socket_latency: intra,
             n_sockets: s,
-            socket_lat,
-            socket_hops,
-            socket_bw,
-            lists,
+            store,
+            handout,
             by_bandwidth,
-            order_bw_proximity,
+            order_bw_proximity: OnceLock::new(),
             min_latency_pair,
             max_latency_pair,
             hwc_socket,
@@ -360,6 +898,29 @@ impl TopoView {
         &self.topo
     }
 
+    /// The distance backend this view runs on.
+    pub fn backend(&self) -> ViewBackend {
+        self.store.backend()
+    }
+
+    /// Estimated heap bytes currently resident in the view's own
+    /// indexes (distance store + hand-out lists + per-context tables +
+    /// materialized caches; the shared [`Mctop`] is not counted). Lazy
+    /// structures only count once touched, so the number grows with
+    /// use — `mct show --stats` and the scale bench report it.
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+            + self.handout.heap_bytes()
+            + self.by_bandwidth.len() * size_of::<usize>()
+            + self
+                .order_bw_proximity
+                .get()
+                .map_or(0, |v| v.len() * size_of::<usize>())
+            + self.hwc_socket.len() * size_of::<usize>()
+            + self.hwc_core.len() * size_of::<usize>()
+            + self.hwc_node.len() * size_of::<Option<usize>>()
+    }
+
     /// Index of the socket level in `levels`, if one was assigned.
     pub fn socket_level(&self) -> Option<usize> {
         self.socket_level
@@ -372,37 +933,36 @@ impl TopoView {
 
     /// Sockets sorted by latency from `socket`, closest first.
     pub fn closest_sockets(&self, socket: usize) -> &[usize] {
-        // A hard bounds check: past the socket rows the CSR arena holds
-        // the hand-out lists, which must never leak out as neighbors.
         assert!(socket < self.n_sockets);
-        self.lists.row(socket)
+        self.store.closest(&self.topo, socket)
     }
 
     /// Context-to-context latency between two sockets (`u32::MAX` if
     /// unknown).
     pub fn socket_latency(&self, a: usize, b: usize) -> u32 {
-        self.socket_lat[a * self.n_sockets + b]
+        assert!(a < self.n_sockets && b < self.n_sockets);
+        self.store.latency(&self.topo, a, b)
     }
 
     /// Interconnect hops between two sockets (0 for a socket with
     /// itself, `usize::MAX` if unknown).
     pub fn socket_hops(&self, a: usize, b: usize) -> usize {
-        self.socket_hops[a * self.n_sockets + b]
+        assert!(a < self.n_sockets && b < self.n_sockets);
+        self.store.hops(&self.topo, a, b)
     }
 
     /// Cross-socket memory bandwidth, if measured. Like the naive
     /// query, a socket has no cross link with itself — use
     /// [`TopoView::local_bandwidth`] for the diagonal.
     pub fn cross_bandwidth(&self, a: usize, b: usize) -> Option<f64> {
-        if a == b {
-            return None;
-        }
-        self.socket_bw[a * self.n_sockets + b]
+        assert!(a < self.n_sockets && b < self.n_sockets);
+        self.store.cross_bw(&self.topo, a, b)
     }
 
     /// A socket's bandwidth to its local node, if measured.
     pub fn local_bandwidth(&self, socket: usize) -> Option<f64> {
-        self.socket_bw[socket * self.n_sockets + socket]
+        assert!(socket < self.n_sockets);
+        self.store.local_bw(&self.topo, socket)
     }
 
     /// The distinct socket pair with minimum latency.
@@ -428,19 +988,40 @@ impl TopoView {
 
     /// The bandwidth-then-proximity socket walk of the CON policies.
     pub fn socket_order_bandwidth_proximity(&self) -> &[usize] {
-        &self.order_bw_proximity
+        self.order_bw_proximity.get_or_init(|| {
+            let s = self.n_sockets;
+            let mut order = Vec::with_capacity(s);
+            if s > 0 {
+                let mut visited = vec![false; s];
+                let mut cur = self.by_bandwidth[0];
+                visited[cur] = true;
+                order.push(cur);
+                while order.len() < s {
+                    let next = self
+                        .closest_sockets(cur)
+                        .iter()
+                        .copied()
+                        .find(|&b| !visited[b])
+                        .expect("unvisited socket exists");
+                    visited[next] = true;
+                    order.push(next);
+                    cur = next;
+                }
+            }
+            order
+        })
     }
 
     /// Contexts of a socket, unique cores first.
     pub fn socket_hwcs_cores_first(&self, socket: usize) -> &[usize] {
         assert!(socket < self.n_sockets);
-        self.lists.row(self.n_sockets + socket)
+        self.handout.row(socket)
     }
 
     /// Contexts of a socket in compact (core-filling) order.
     pub fn socket_hwcs_compact(&self, socket: usize) -> &[usize] {
         assert!(socket < self.n_sockets);
-        self.lists.row(2 * self.n_sockets + socket)
+        self.handout.row(self.n_sockets + socket)
     }
 
     /// The socket of a context.
@@ -609,5 +1190,75 @@ mod tests {
         let v = TopoView::new(Arc::new(t));
         assert!(v.socket_level().is_none());
         assert!(v.intra_socket_latency() > 0);
+    }
+
+    #[test]
+    fn dense_matrices_build_lazily() {
+        let t = enriched(&mcsim::presets::opteron());
+        let v = TopoView::build(&t).unwrap();
+        assert_eq!(v.backend(), ViewBackend::Dense);
+        let fresh = v.resident_bytes();
+        let _ = v.socket_latency(0, 1);
+        let after_lat = v.resident_bytes();
+        assert!(after_lat > fresh, "latency matrix materialized on demand");
+        let _ = v.cross_bandwidth(0, 1);
+        assert!(
+            v.resident_bytes() > after_lat,
+            "bandwidth matrix only materialized when touched"
+        );
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_on_small_machines() {
+        for spec in [mcsim::presets::opteron(), mcsim::presets::westmere()] {
+            let t = Arc::new(enriched(&spec));
+            let dense = TopoView::with_backend(Arc::clone(&t), ViewBackend::Dense);
+            let sparse = TopoView::with_backend(Arc::clone(&t), ViewBackend::Sparse);
+            assert_eq!(sparse.backend(), ViewBackend::Sparse);
+            for a in 0..t.num_sockets() {
+                assert_eq!(dense.closest_sockets(a), sparse.closest_sockets(a));
+                for b in 0..t.num_sockets() {
+                    assert_eq!(
+                        dense.socket_latency(a, b),
+                        sparse.socket_latency(a, b),
+                        "{}: lat({a},{b})",
+                        spec.name
+                    );
+                    assert_eq!(dense.socket_hops(a, b), sparse.socket_hops(a, b));
+                    assert_eq!(dense.cross_bandwidth(a, b), sparse.cross_bandwidth(a, b));
+                }
+                assert_eq!(dense.local_bandwidth(a), sparse.local_bandwidth(a));
+            }
+            assert_eq!(
+                dense.socket_order_bandwidth_proximity(),
+                sparse.socket_order_bandwidth_proximity()
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_view_picks_sparse_and_stays_subquadratic() {
+        // Mesh-scale machines need the mesh clustering config; go
+        // through the canonical path that selects it.
+        let spec = mcsim::presets::mesh(8);
+        let t = Arc::new(crate::desc::canonical(&spec).unwrap().0);
+        let s = t.num_sockets();
+        assert!(s >= SPARSE_THRESHOLD_SOCKETS);
+        let v = TopoView::new(Arc::clone(&t));
+        assert_eq!(v.backend(), ViewBackend::Sparse);
+        // Exercise a spread of queries, then check the store stayed far
+        // below the dense matrices' S^2 footprint.
+        for a in (0..s).step_by(7) {
+            for b in 0..s {
+                assert_eq!(v.socket_latency(a, b), t.socket_latency(a, b));
+            }
+        }
+        let dense_matrix_bytes = s * s * (size_of::<u32>() + size_of::<usize>());
+        assert!(
+            v.resident_bytes() < dense_matrix_bytes,
+            "sparse view {} bytes vs dense matrices {}",
+            v.resident_bytes(),
+            dense_matrix_bytes
+        );
     }
 }

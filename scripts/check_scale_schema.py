@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Schema check for the `scale_inference` bench artifact.
+
+Reads a BENCH_scale.json document (path argument, or stdin when no
+argument is given) and asserts it matches the shape documented in
+docs/BENCHMARKS.md: the NoC ladder rows with pair counts, inference
+wall times, and a dense/sparse view row each, plus the scaling
+invariants the bench gates on (pruned plan within the exhaustive
+triangle, the big mesh at or below a quarter of it). CI pipes the bench
+output through this so the artifact schema cannot drift silently.
+
+Exit code 0 when the document conforms, 1 otherwise.
+"""
+
+import json
+import sys
+
+MACHINE_INTS = ["sockets", "contexts", "pairs_exhaustive", "pairs_probed"]
+MACHINE_FLOATS = ["probed_frac", "infer_pruned_ms", "infer_exhaustive_ms"]
+VIEW_INTS = [
+    "resident_bytes_fresh",
+    "resident_bytes_touched",
+    "query_p50_ns",
+    "query_p99_ns",
+]
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_view(row, label, errors):
+    if not isinstance(row, dict):
+        errors.append(f"`{label}` is not an object")
+        return
+    if not is_number(row.get("build_ms")) or row.get("build_ms", -1) < 0:
+        errors.append(f"`{label}.build_ms` is not a non-negative number")
+    for name in VIEW_INTS:
+        if not is_count(row.get(name)):
+            errors.append(f"`{label}.{name}` is not a counter: {row.get(name)!r}")
+    if is_count(row.get("query_p50_ns")) and is_count(row.get("query_p99_ns")):
+        if row["query_p99_ns"] < row["query_p50_ns"]:
+            errors.append(f"`{label}`: p99 below p50")
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_scale_schema.py [BENCH_scale.json]", file=sys.stderr)
+        return 1
+    source = open(sys.argv[1], encoding="utf-8") if len(sys.argv) == 2 else sys.stdin
+    try:
+        report = json.load(source)
+    except json.JSONDecodeError as err:
+        print(f"check_scale_schema: not valid JSON: {err}", file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(report, dict) or sorted(report) != [
+        "bench",
+        "machines",
+        "queries_per_view",
+    ]:
+        errors.append("top level must be exactly {bench, queries_per_view, machines}")
+        report = {}
+    if report.get("bench") != "scale":
+        errors.append(f"`bench` must be \"scale\": {report.get('bench')!r}")
+    if not is_count(report.get("queries_per_view")) or not report.get("queries_per_view"):
+        errors.append("`queries_per_view` is not a positive integer")
+
+    machines = report.get("machines")
+    if not isinstance(machines, list) or not machines:
+        errors.append("`machines` is not a non-empty list")
+        machines = []
+    seen = set()
+    for i, row in enumerate(machines):
+        label = f"machines[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"`{label}` is not an object")
+            continue
+        preset = row.get("preset")
+        if not isinstance(preset, str) or not preset:
+            errors.append(f"`{label}.preset` is not a name")
+        else:
+            label = preset
+            if preset in seen:
+                errors.append(f"duplicate machine `{preset}`")
+            seen.add(preset)
+        for name in MACHINE_INTS:
+            if not is_count(row.get(name)):
+                errors.append(f"`{label}.{name}` is not a counter: {row.get(name)!r}")
+        for name in MACHINE_FLOATS:
+            if not is_number(row.get(name)) or row.get(name, -1) < 0:
+                errors.append(f"`{label}.{name}` is not a non-negative number")
+        check_view(row.get("dense"), f"{label}.dense", errors)
+        check_view(row.get("sparse"), f"{label}.sparse", errors)
+        if all(is_count(row.get(n)) for n in MACHINE_INTS):
+            if row["pairs_probed"] > row["pairs_exhaustive"]:
+                errors.append(f"`{label}`: probed more pairs than exist")
+            n = row["contexts"]
+            if row["pairs_exhaustive"] != n * (n - 1) // 2:
+                errors.append(f"`{label}`: pairs_exhaustive is not the triangle of {n}")
+    # The headline scaling invariant the bench gates on must be visible
+    # in the artifact too.
+    big = next((m for m in machines if isinstance(m, dict) and m.get("preset") == "synth-mesh-256"), None)
+    if big is None:
+        errors.append("missing the synth-mesh-256 ladder rung")
+    elif is_number(big.get("probed_frac")) and big["probed_frac"] > 0.25:
+        errors.append(f"synth-mesh-256 probed_frac {big['probed_frac']} above the 25% budget")
+
+    for err in errors:
+        print(f"check_scale_schema: {err}", file=sys.stderr)
+    print(f"checked scale bench report: {len(errors)} schema error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

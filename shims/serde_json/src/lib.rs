@@ -383,12 +383,18 @@ impl<'a> Parser<'a> {
                     self.i += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.s[self.i..])
+                    // Consume a maximal run of ordinary bytes in one
+                    // go. Validating UTF-8 per chunk (not per code
+                    // point over the whole remaining input) keeps
+                    // parsing linear — multi-megabyte description
+                    // files hit this path for every string character.
+                    let start = self.i;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.i += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..self.i])
                         .map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
+                    out.push_str(chunk);
                 }
                 None => return Err(Error::new("unterminated string")),
             }

@@ -16,10 +16,21 @@ fn descs_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("descs")
 }
 
+/// The cache-coherent presets (paper platforms + small synthetics) —
+/// all of them are shipped compiled-in.
 fn all_specs() -> Vec<mcsim::MachineSpec> {
     mcsim::presets::all_paper_platforms()
         .into_iter()
         .chain(mcsim::presets::all_synthetic())
+        .collect()
+}
+
+/// Every preset with a committed desc file, including the mesh-scale
+/// NoC family (of which only the 64-socket members are compiled in).
+fn committed_specs() -> Vec<mcsim::MachineSpec> {
+    all_specs()
+        .into_iter()
+        .chain(mcsim::presets::all_mesh_scale())
         .collect()
 }
 
@@ -31,7 +42,7 @@ fn all_specs() -> Vec<mcsim::MachineSpec> {
 /// through the binary).
 #[test]
 fn committed_descs_match_fresh_canonical_inference() {
-    for spec in all_specs() {
+    for spec in committed_specs() {
         let path = descs_dir().join(desc::default_filename(&spec.name));
         let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
         let (fresh, fresh_prov) = desc::canonical(&spec).expect("canonical inference");
@@ -53,7 +64,7 @@ fn committed_descs_match_fresh_canonical_inference() {
 /// serialization on every preset).
 #[test]
 fn parallel_canonical_inference_is_byte_identical() {
-    for spec in all_specs() {
+    for spec in committed_specs() {
         let path = descs_dir().join(desc::default_filename(&spec.name));
         let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
         let rendered = desc::canonical_string_jobs(&spec, 8).expect("parallel canonical");
@@ -70,7 +81,11 @@ fn parallel_canonical_inference_is_byte_identical() {
 fn shipped_library_matches_committed_files() {
     let mut names = registry::shipped_names();
     names.sort_unstable();
+    // Compiled in: every cache-coherent preset plus the 64-socket
+    // mesh-scale members (the larger NoC descs stay disk-only).
     let mut specs: Vec<String> = all_specs().iter().map(|s| s.name.clone()).collect();
+    specs.push("synth-mesh-64".into());
+    specs.push("synth-circulant-64".into());
     specs.sort();
     assert_eq!(names, specs);
     for name in registry::shipped_names() {
@@ -111,7 +126,12 @@ fn registry_shares_one_view_per_topology() {
 #[test]
 fn every_shipped_description_serves_queries() {
     let reg = Registry::shipped();
-    for spec in all_specs() {
+    let shipped = registry::shipped_names();
+    let specs: Vec<_> = committed_specs()
+        .into_iter()
+        .filter(|s| shipped.contains(&s.name.as_str()))
+        .collect();
+    for spec in &specs {
         let view = reg.view(&spec.name).expect("loadable");
         assert_eq!(view.num_hwcs(), spec.total_hwcs(), "{}", spec.name);
         assert_eq!(view.num_sockets(), spec.sockets, "{}", spec.name);
@@ -121,5 +141,35 @@ fn every_shipped_description_serves_queries() {
         assert!(view.topo().caches.is_some(), "{}", spec.name);
         assert_eq!(view.topo().freq_ghz, Some(spec.freq_ghz), "{}", spec.name);
     }
-    assert_eq!(reg.cached(), all_specs().len());
+    assert_eq!(specs.len(), shipped.len());
+    assert_eq!(reg.cached(), shipped.len());
+}
+
+/// The disk-only mesh-scale descs (too large to compile in) still load,
+/// round-trip byte-identically, and pick the sparse view backend.
+#[test]
+fn disk_only_mesh_descs_round_trip_and_serve() {
+    let shipped = registry::shipped_names();
+    for spec in mcsim::presets::all_mesh_scale() {
+        if shipped.contains(&spec.name.as_str()) {
+            continue;
+        }
+        let path = descs_dir().join(desc::default_filename(&spec.name));
+        let on_disk = std::fs::read_to_string(&path).expect("committed desc exists");
+        let (topo, prov) = desc::from_str_full(&on_disk).expect("loads");
+        assert_eq!(
+            desc::to_string(&topo, &prov).expect("render"),
+            on_disk,
+            "{}: desc does not round-trip",
+            spec.name
+        );
+        let view = mctop::TopoView::new(Arc::new(topo));
+        assert_eq!(view.num_sockets(), spec.sockets, "{}", spec.name);
+        assert_eq!(
+            view.backend(),
+            mctop::view::ViewBackend::Sparse,
+            "{}",
+            spec.name
+        );
+    }
 }

@@ -1,0 +1,154 @@
+//! Dense/sparse view equivalence at mesh scale: the sparse
+//! [`TopoView`] backend must answer every query identically to the
+//! dense one — on each committed description (paper platforms, small
+//! synthetics, and the NoC family) and on arbitrary generated mesh and
+//! circulant shapes up to 512 contexts.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mctop::desc;
+use mctop::view::{
+    TopoView,
+    ViewBackend, //
+};
+use mctop::Mctop;
+
+fn descs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("descs")
+}
+
+/// Builds the topology's view on both backends and checks that every
+/// accessor the consumers use answers identically: latencies, hop
+/// counts, bandwidths, neighbor orders, extreme pairs, and the
+/// CON-policy bandwidth/proximity walk.
+fn assert_backends_agree(topo: &Mctop) -> Result<(), TestCaseError> {
+    let name = topo.name.clone();
+    let dense = TopoView::with_backend(Arc::new(topo.clone()), ViewBackend::Dense);
+    let sparse = TopoView::with_backend(Arc::new(topo.clone()), ViewBackend::Sparse);
+    prop_assert_eq!(dense.backend(), ViewBackend::Dense);
+    prop_assert_eq!(sparse.backend(), ViewBackend::Sparse);
+
+    let s = topo.num_sockets();
+    for a in 0..s {
+        for b in 0..s {
+            prop_assert_eq!(
+                dense.socket_latency(a, b),
+                sparse.socket_latency(a, b),
+                "{}: latency({}, {})",
+                &name,
+                a,
+                b
+            );
+            prop_assert_eq!(
+                dense.socket_hops(a, b),
+                sparse.socket_hops(a, b),
+                "{}: hops({}, {})",
+                &name,
+                a,
+                b
+            );
+            prop_assert_eq!(
+                dense.cross_bandwidth(a, b),
+                sparse.cross_bandwidth(a, b),
+                "{}: cross_bw({}, {})",
+                &name,
+                a,
+                b
+            );
+        }
+        prop_assert_eq!(
+            dense.local_bandwidth(a),
+            sparse.local_bandwidth(a),
+            "{}: local_bw({})",
+            &name,
+            a
+        );
+        prop_assert_eq!(
+            dense.closest_sockets(a),
+            sparse.closest_sockets(a),
+            "{}: closest({})",
+            &name,
+            a
+        );
+    }
+    prop_assert_eq!(
+        dense.intra_socket_latency(),
+        sparse.intra_socket_latency(),
+        "{}: intra",
+        &name
+    );
+    prop_assert_eq!(
+        dense.min_latency_socket_pair(),
+        sparse.min_latency_socket_pair(),
+        "{}: min pair",
+        &name
+    );
+    prop_assert_eq!(
+        dense.max_latency_socket_pair(),
+        sparse.max_latency_socket_pair(),
+        "{}: max pair",
+        &name
+    );
+    prop_assert_eq!(
+        dense.sockets_by_local_bandwidth(),
+        sparse.sockets_by_local_bandwidth(),
+        "{}: bw ranking",
+        &name
+    );
+    prop_assert_eq!(
+        dense.socket_order_bandwidth_proximity(),
+        sparse.socket_order_bandwidth_proximity(),
+        "{}: bw/proximity walk",
+        &name
+    );
+    Ok(())
+}
+
+/// Every committed description answers identically on both backends —
+/// including the large disk-only NoC descs.
+#[test]
+fn backends_agree_on_every_committed_desc() {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(descs_dir())
+        .expect("descs dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.to_str().is_some_and(|s| s.ends_with(".mct.json")))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 16, "committed desc library went missing?");
+    for path in entries {
+        let topo = desc::load(&path).unwrap_or_else(|e| {
+            panic!("{}: cannot load: {e}", path.display());
+        });
+        assert_backends_agree(&topo).unwrap_or_else(|e| {
+            panic!("{}: backends diverge: {e}", path.display());
+        });
+    }
+}
+
+/// A generated NoC shape: an even-sided 2D mesh (8 to 512 contexts) or
+/// a valid multiplicative circulant.
+fn arb_noc_spec() -> impl Strategy<Value = mcsim::MachineSpec> {
+    (0usize..=11).prop_map(|shape| match shape {
+        0..=7 => mcsim::presets::mesh(2 * (shape + 1)),
+        8 => mcsim::presets::multiplicative_circulant(16, 4),
+        9 => mcsim::presets::multiplicative_circulant(64, 4),
+        10 => mcsim::presets::multiplicative_circulant(64, 8),
+        _ => mcsim::presets::multiplicative_circulant(144, 8),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Canonically inferred NoC topologies of arbitrary shape answer
+    /// identically on both backends.
+    #[test]
+    fn backends_agree_on_generated_noc_shapes(spec in arb_noc_spec()) {
+        spec.check().expect("generated spec is valid");
+        let (topo, _) = desc::canonical(&spec).expect("canonical inference");
+        assert_backends_agree(&topo)?;
+    }
+}
